@@ -1,0 +1,74 @@
+//! Figure 9 — |Esub| and total time vs. capacity k (paper defaults:
+//! |Q| = 1 K, |P| = 100 K).
+//!
+//! Expected shape (§5.2): all algorithms use a small fragment of the
+//! complete bipartite graph; IDA explores the fewest edges while
+//! `k·|Q| < |P|`; I/O follows |Esub|; total cost rises with k.
+
+use cca::Algorithm;
+use cca_bench::{
+    build_instance, default_config, header, measure, print_exact_table, shape_check, Scale,
+    K_RANGE,
+};
+use cca::datagen::CapacitySpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = default_config(scale);
+    header(
+        "Figure 9",
+        "|Esub| and total time vs k",
+        &format!(
+            "|Q| = {}, |P| = {} (paper: 1K / 100K), k in {:?}",
+            base.num_providers, base.num_customers, K_RANGE
+        ),
+    );
+    println!(
+        "FULL bipartite graph |Q|x|P| = {}",
+        base.num_providers * base.num_customers
+    );
+
+    let mut rows = Vec::new();
+    for k in K_RANGE {
+        let cfg = cca::datagen::WorkloadConfig {
+            capacity: CapacitySpec::Fixed(k),
+            ..base.clone()
+        };
+        let instance = build_instance(&cfg);
+        for algo in [
+            Algorithm::Ria {
+                theta: scale.tuned_theta(),
+            },
+            Algorithm::Nia,
+            Algorithm::Ida,
+        ] {
+            rows.push(measure(&instance, algo, k));
+        }
+    }
+    print_exact_table(&rows);
+
+    let full = (base.num_providers * base.num_customers) as u64;
+    for k in K_RANGE {
+        let kstr = k.to_string();
+        let get = |name: &str| rows.iter().find(|r| r.series == name && r.x == kstr).unwrap();
+        shape_check(
+            &format!("k={k}: every |Esub| is a fragment of the full graph"),
+            get("RIA").esub < full && get("NIA").esub < full && get("IDA").esub < full,
+        );
+        shape_check(
+            &format!("k={k}: IDA explores no more edges than NIA and RIA"),
+            get("IDA").esub <= get("NIA").esub && get("IDA").esub <= get("RIA").esub,
+        );
+    }
+    // IDA's pruning is strongest when k|Q| < |P| (§5.2).
+    let ratio = |k: u32| {
+        let kstr = k.to_string();
+        let nia = rows.iter().find(|r| r.series == "NIA" && r.x == kstr).unwrap();
+        let ida = rows.iter().find(|r| r.series == "IDA" && r.x == kstr).unwrap();
+        nia.esub as f64 / ida.esub as f64
+    };
+    shape_check(
+        "IDA/NIA pruning gap is larger at k=20 than at k=320",
+        ratio(20) > ratio(320),
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 10 — performance vs. |Q| (paper: 0.25K…5K at k = 80,
+//! |P| = 100 K).
+//!
+//! Expected shape (§5.2): cost increases with |Q| but saturates once
+//! `k·|Q| > |P|`; IDA prunes most while `k·|Q| < |P|`.
+
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::Algorithm;
+use cca_bench::{build_instance, header, measure, print_exact_table, shape_check, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let np = scale.count(100_000);
+    let q_values: Vec<usize> = [250, 500, 1000, 2500, 5000]
+        .iter()
+        .map(|&q| scale.count(q))
+        .collect();
+    header(
+        "Figure 10",
+        "performance vs |Q|",
+        &format!("k = 80, |P| = {np}, |Q| in {q_values:?} (paper: 0.25K..5K)"),
+    );
+
+    let mut rows = Vec::new();
+    for &nq in &q_values {
+        let cfg = WorkloadConfig {
+            num_providers: nq,
+            num_customers: np,
+            capacity: CapacitySpec::Fixed(80),
+            q_dist: SpatialDistribution::Clustered,
+            p_dist: SpatialDistribution::Clustered,
+            seed: 2008,
+        };
+        let instance = build_instance(&cfg);
+        for algo in [
+            Algorithm::Ria {
+                theta: scale.tuned_theta(),
+            },
+            Algorithm::Nia,
+            Algorithm::Ida,
+        ] {
+            rows.push(measure(&instance, algo, nq));
+        }
+    }
+    print_exact_table(&rows);
+
+    for &nq in &q_values {
+        let x = nq.to_string();
+        let get = |name: &str| rows.iter().find(|r| r.series == name && r.x == x).unwrap();
+        shape_check(
+            &format!("|Q|={nq}: IDA explores no more edges than NIA"),
+            get("IDA").esub <= get("NIA").esub,
+        );
+    }
+    // Saturation: "the cost of the problem increases with |Q|, but
+    // saturates when k·|Q| > |P|" (§5.2). Compare total-time growth per |Q|
+    // doubling before the crossover (k·|Q| = |P| at |Q| = |P|/80) against
+    // after it: growth must slow markedly.
+    let total_of = |nq: usize| {
+        let r = rows
+            .iter()
+            .find(|r| r.series == "IDA" && r.x == nq.to_string())
+            .unwrap();
+        r.cpu_s + r.io_s
+    };
+    let before = total_of(q_values[2]) / total_of(q_values[1]); // both ≤ crossover
+    let after = total_of(q_values[4]) / total_of(q_values[3]); // both ≥ crossover
+    shape_check(
+        "total-time growth slows once k|Q| > |P| (saturation)",
+        after < before,
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 11 — performance vs. |P| (paper: 25K…200K at k = 80, |Q| = 1K).
+//!
+//! Expected shape (§5.2): "When |P| increases, the complete flow graph grows
+//! but the subgraph explored by our algorithms shrinks" — more customers
+//! mean closer NNs and an easier problem.
+
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::Algorithm;
+use cca_bench::{build_instance, header, measure, print_exact_table, shape_check, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let nq = scale.count(1000);
+    let p_values: Vec<usize> = [25_000, 50_000, 100_000, 150_000, 200_000]
+        .iter()
+        .map(|&p| scale.count(p))
+        .collect();
+    header(
+        "Figure 11",
+        "performance vs |P|",
+        &format!("k = 80, |Q| = {nq}, |P| in {p_values:?} (paper: 25K..200K)"),
+    );
+
+    let mut rows = Vec::new();
+    for &np in &p_values {
+        let cfg = WorkloadConfig {
+            num_providers: nq,
+            num_customers: np,
+            capacity: CapacitySpec::Fixed(80),
+            q_dist: SpatialDistribution::Clustered,
+            p_dist: SpatialDistribution::Clustered,
+            seed: 2008,
+        };
+        let instance = build_instance(&cfg);
+        for algo in [
+            Algorithm::Ria {
+                theta: scale.tuned_theta(),
+            },
+            Algorithm::Nia,
+            Algorithm::Ida,
+        ] {
+            rows.push(measure(&instance, algo, np));
+        }
+    }
+    print_exact_table(&rows);
+
+    // "If there are too many customers, the NNs of each service provider
+    // are closer ... the problem becomes easier and fewer Esub edges are
+    // needed" (§5.2): past the k·|Q| = |P| crossover, |Esub| falls as |P|
+    // keeps growing.
+    let esub_of = |np: usize| {
+        rows.iter()
+            .find(|r| r.series == "IDA" && r.x == np.to_string())
+            .unwrap()
+            .esub
+    };
+    let crossover_p = 80 * nq; // Σk = |P|
+    let at_crossover = esub_of(
+        *p_values
+            .iter()
+            .min_by_key(|&&p| p.abs_diff(crossover_p))
+            .unwrap(),
+    );
+    let at_largest = esub_of(p_values[p_values.len() - 1]);
+    shape_check(
+        "customer surplus shrinks the explored subgraph (|Esub| falls past k|Q|=|P|)",
+        at_largest < at_crossover,
+    );
+    // The gap between IDA and NIA/RIA grows as |P| outgrows k|Q| (§5.2).
+    let gap = |np: usize| {
+        let x = np.to_string();
+        let nia = rows.iter().find(|r| r.series == "NIA" && r.x == x).unwrap();
+        let ida = rows.iter().find(|r| r.series == "IDA" && r.x == x).unwrap();
+        nia.esub as f64 / ida.esub as f64
+    };
+    shape_check(
+        "IDA's advantage grows as |P| grows past k|Q|",
+        gap(p_values[p_values.len() - 1]) >= gap(p_values[0]),
+    );
+}

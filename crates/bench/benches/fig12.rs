@@ -1,0 +1,54 @@
+//! Figure 12 — mixed capacities: k drawn uniformly from ranges
+//! 10–30 … 160–480 (paper defaults otherwise).
+//!
+//! Expected shape (§5.2): "mixed k values do not affect the effectiveness of
+//! our pruning techniques" — the results mirror Figure 9.
+
+use cca::datagen::CapacitySpec;
+use cca::Algorithm;
+use cca_bench::{
+    build_instance, default_config, header, measure, print_exact_table, shape_check, Scale,
+    MIXED_K_RANGES,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = default_config(scale);
+    header(
+        "Figure 12",
+        "performance for mixed capacities",
+        &format!(
+            "|Q| = {}, |P| = {}, k ~ U[lo, hi] per range",
+            base.num_providers, base.num_customers
+        ),
+    );
+
+    let mut rows = Vec::new();
+    for (lo, hi) in MIXED_K_RANGES {
+        let cfg = cca::datagen::WorkloadConfig {
+            capacity: CapacitySpec::Mixed { lo, hi },
+            ..base.clone()
+        };
+        let instance = build_instance(&cfg);
+        let label = format!("{lo}~{hi}");
+        for algo in [
+            Algorithm::Ria {
+                theta: scale.tuned_theta(),
+            },
+            Algorithm::Nia,
+            Algorithm::Ida,
+        ] {
+            rows.push(measure(&instance, algo, label.clone()));
+        }
+    }
+    print_exact_table(&rows);
+
+    for (lo, hi) in MIXED_K_RANGES {
+        let x = format!("{lo}~{hi}");
+        let get = |name: &str| rows.iter().find(|r| r.series == name && r.x == x).unwrap();
+        shape_check(
+            &format!("k={x}: pruning keeps working (IDA <= NIA in |Esub|)"),
+            get("IDA").esub <= get("NIA").esub,
+        );
+    }
+}

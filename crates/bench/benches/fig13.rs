@@ -1,0 +1,72 @@
+//! Figure 13 — the four distribution combinations U/C × U/C (paper
+//! defaults otherwise).
+//!
+//! Expected shape (§5.2): computing the optimal assignment gets much more
+//! expensive when the two sets are distributed differently; NIA falls behind
+//! RIA there (its one-by-one edge retrieval is invoked very many times).
+
+use cca::datagen::{CapacitySpec, WorkloadConfig};
+use cca::Algorithm;
+use cca_bench::{
+    build_instance, header, measure, print_exact_table, shape_check, Scale, DIST_COMBOS,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    // Cross-distribution instances explore an order of magnitude more
+    // edges; run this figure at half the configured scale so `cargo bench`
+    // stays affordable (documented in EXPERIMENTS.md).
+    let eff = Scale(scale.0 * 0.5);
+    let nq = eff.count(1000);
+    let np = eff.count(100_000);
+    header(
+        "Figure 13",
+        "different Q/P distributions (exact algorithms)",
+        &format!("|Q| = {nq}, |P| = {np}, k = 80, combos UvsU/UvsC/CvsU/CvsC"),
+    );
+
+    let mut rows = Vec::new();
+    for (qd, pd) in DIST_COMBOS {
+        let cfg = WorkloadConfig {
+            num_providers: nq,
+            num_customers: np,
+            capacity: CapacitySpec::Fixed(80),
+            q_dist: qd,
+            p_dist: pd,
+            seed: 2008,
+        };
+        let instance = build_instance(&cfg);
+        let label = format!("{}vs{}", qd.label(), pd.label());
+        for algo in [
+            Algorithm::Ria {
+                theta: eff.tuned_theta(),
+            },
+            Algorithm::Nia,
+            Algorithm::Ida,
+        ] {
+            rows.push(measure(&instance, algo, label.clone()));
+        }
+    }
+    print_exact_table(&rows);
+
+    let esub = |series: &str, x: &str| {
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+            .esub
+    };
+    shape_check(
+        "cross distributions (UvsC, CvsU) explore more edges than matched ones",
+        esub("IDA", "UvsC") > esub("IDA", "UvsU") && esub("IDA", "CvsU") > esub("IDA", "CvsC"),
+    );
+    let cpu = |series: &str, x: &str| {
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+            .cpu_s
+    };
+    shape_check(
+        "NIA is slower than RIA on cross-distribution instances (§5.2)",
+        cpu("NIA", "UvsC") > cpu("RIA", "UvsC") || cpu("NIA", "CvsU") > cpu("RIA", "CvsU"),
+    );
+}

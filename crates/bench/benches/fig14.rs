@@ -1,0 +1,88 @@
+//! Figure 14 — approximation quality and running time vs. δ
+//! (SAN/SAE/CAN/CAE against exact IDA, paper defaults otherwise).
+//!
+//! Expected shape (§5.3): CA beats SA in both quality and time for all δ
+//! except the smallest, where SA approaches exactness at near-IDA cost;
+//! accuracy and cost both drop as δ grows.
+
+use cca::core::RefineMethod;
+use cca::Algorithm;
+use cca_bench::{
+    build_instance, default_config, header, measure, print_approx_table, print_exact_table,
+    shape_check, Scale, DELTA_RANGE,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = default_config(scale);
+    header(
+        "Figure 14",
+        "approximation quality & time vs δ",
+        &format!(
+            "|Q| = {}, |P| = {}, k = 80, δ in {DELTA_RANGE:?}",
+            base.num_providers, base.num_customers
+        ),
+    );
+
+    let instance = build_instance(&base);
+    let exact = measure(&instance, Algorithm::Ida, "ref");
+    println!("exact reference (IDA):");
+    print_exact_table(std::slice::from_ref(&exact));
+
+    let mut rows = Vec::new();
+    for delta in DELTA_RANGE {
+        for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+            rows.push(measure(&instance, Algorithm::Sa { delta, refine }, delta));
+            rows.push(measure(&instance, Algorithm::Ca { delta, refine }, delta));
+        }
+    }
+    print_approx_table(&rows, |_| exact.cost);
+
+    let quality = |series: &str, delta: f64| {
+        rows.iter()
+            .find(|r| r.series == series && r.x == delta.to_string())
+            .unwrap()
+            .cost
+            / exact.cost
+    };
+    for delta in DELTA_RANGE {
+        shape_check(
+            &format!("δ={delta}: every approximation is within its quality band (>= 1)"),
+            quality("SAN", delta) >= 1.0 - 1e-9 && quality("CAN", delta) >= 1.0 - 1e-9,
+        );
+    }
+    shape_check(
+        "CA quality at δ=10 is near-optimal (within 25%)",
+        quality("CAN", 10.0) < 1.25,
+    );
+    // The paper picks δ=40 for SA and δ=10 for CA as the best
+    // efficiency/accuracy trade-offs (§5.3); at those operating points CA
+    // must win on both axes.
+    let trade_total = |series: &str, delta: f64| {
+        let r = rows
+            .iter()
+            .find(|r| r.series == series && r.x == delta.to_string())
+            .unwrap();
+        r.cpu_s + r.io_s
+    };
+    shape_check(
+        "CA@δ=10 beats SA@δ=40 in quality at the paper's trade-off points",
+        quality("CAN", 10.0) <= quality("SAN", 40.0),
+    );
+    shape_check(
+        "CA@δ=10 beats SA@δ=40 in total time at the paper's trade-off points",
+        trade_total("CAN", 10.0) < trade_total("SAN", 40.0),
+    );
+    let total = |series: &str, delta: f64| {
+        let r = rows
+            .iter()
+            .find(|r| r.series == series && r.x == delta.to_string())
+            .unwrap();
+        r.cpu_s + r.io_s
+    };
+    shape_check(
+        "approximation is faster than exact IDA at δ>=40",
+        total("CAN", 40.0) < exact.cpu_s + exact.io_s
+            && total("SAN", 40.0) < exact.cpu_s + exact.io_s,
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 15 — approximation performance vs. capacity k
+//! (δ fixed at the paper's best trade-off: 40 for SA, 10 for CA).
+//!
+//! Expected shape (§5.3): quality improves (ratio drops) as k grows — pair
+//! distances grow while group MBRs stay fixed; CA is more robust than SA.
+
+use cca::core::RefineMethod;
+use cca::datagen::CapacitySpec;
+use cca::Algorithm;
+use cca_bench::{
+    build_instance, default_config, header, measure, print_approx_table, shape_check, Scale,
+    K_RANGE,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = default_config(scale);
+    header(
+        "Figure 15",
+        "approximation vs k (δ_SA = 40, δ_CA = 10)",
+        &format!(
+            "|Q| = {}, |P| = {}, k in {K_RANGE:?}",
+            base.num_providers, base.num_customers
+        ),
+    );
+
+    let mut rows = Vec::new();
+    let mut exact_costs: Vec<(String, f64)> = Vec::new();
+    for k in K_RANGE {
+        let cfg = cca::datagen::WorkloadConfig {
+            capacity: CapacitySpec::Fixed(k),
+            ..base.clone()
+        };
+        let instance = build_instance(&cfg);
+        let exact = measure(&instance, Algorithm::Ida, k);
+        exact_costs.push((k.to_string(), exact.cost));
+        rows.push(exact);
+        for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+            rows.push(measure(&instance, Algorithm::Sa { delta: 40.0, refine }, k));
+            rows.push(measure(&instance, Algorithm::Ca { delta: 10.0, refine }, k));
+        }
+    }
+    let cost_of = |x: &str| {
+        exact_costs
+            .iter()
+            .find(|(k, _)| k == x)
+            .map(|&(_, c)| c)
+            .unwrap()
+    };
+    print_approx_table(&rows, cost_of);
+
+    let quality = |series: &str, k: u32| {
+        let x = k.to_string();
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+            .cost
+            / cost_of(&x)
+    };
+    shape_check(
+        "quality improves with k for CA (ratio at k=320 below k=20)",
+        quality("CAN", 320) <= quality("CAN", 20),
+    );
+    shape_check(
+        "CA stays within ~25% of optimal at every k (paper: 12-23%)",
+        K_RANGE.iter().all(|&k| quality("CAN", k) < 1.25),
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 16 — approximation performance vs. |Q| (δ_SA = 40, δ_CA = 10).
+//!
+//! Expected shape (§5.3): CA is more accurate than SA with marginal
+//! differences between its N/E variants; CA's quality worsens as |Q| grows
+//! (more providers around a customer group raise the chance of suboptimal
+//! pairs).
+
+use cca::core::RefineMethod;
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::Algorithm;
+use cca_bench::{build_instance, header, measure, print_approx_table, shape_check, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let np = scale.count(100_000);
+    let q_values: Vec<usize> = [250, 500, 1000, 2500, 5000]
+        .iter()
+        .map(|&q| scale.count(q))
+        .collect();
+    header(
+        "Figure 16",
+        "approximation vs |Q| (δ_SA = 40, δ_CA = 10)",
+        &format!("k = 80, |P| = {np}, |Q| in {q_values:?}"),
+    );
+
+    let mut rows = Vec::new();
+    let mut exact_costs: Vec<(String, f64)> = Vec::new();
+    for &nq in &q_values {
+        let cfg = WorkloadConfig {
+            num_providers: nq,
+            num_customers: np,
+            capacity: CapacitySpec::Fixed(80),
+            q_dist: SpatialDistribution::Clustered,
+            p_dist: SpatialDistribution::Clustered,
+            seed: 2008,
+        };
+        let instance = build_instance(&cfg);
+        let exact = measure(&instance, Algorithm::Ida, nq);
+        exact_costs.push((nq.to_string(), exact.cost));
+        rows.push(exact);
+        for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+            rows.push(measure(&instance, Algorithm::Sa { delta: 40.0, refine }, nq));
+            rows.push(measure(&instance, Algorithm::Ca { delta: 10.0, refine }, nq));
+        }
+    }
+    let cost_of = |x: &str| {
+        exact_costs
+            .iter()
+            .find(|(k, _)| k == x)
+            .map(|&(_, c)| c)
+            .unwrap()
+    };
+    print_approx_table(&rows, cost_of);
+
+    let quality = |series: &str, nq: usize| {
+        let x = nq.to_string();
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+            .cost
+            / cost_of(&x)
+    };
+    let first = q_values[0];
+    let last = q_values[q_values.len() - 1];
+    shape_check(
+        "CAN and CAE differ only marginally (within 5% of each other)",
+        q_values
+            .iter()
+            .all(|&nq| (quality("CAN", nq) - quality("CAE", nq)).abs() < 0.05),
+    );
+    shape_check(
+        "CA quality degrades as |Q| grows",
+        quality("CAN", last) >= quality("CAN", first) - 1e-9,
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 17 — approximation performance vs. |P| (δ_SA = 40, δ_CA = 10).
+//!
+//! Expected shape (§5.3): growing |P| hurts SA (denser space around each
+//! provider group raises the potential for suboptimal matchings) while CA
+//! is affected to a lesser degree.
+
+use cca::core::RefineMethod;
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::Algorithm;
+use cca_bench::{build_instance, header, measure, print_approx_table, shape_check, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let nq = scale.count(1000);
+    let p_values: Vec<usize> = [25_000, 50_000, 100_000, 150_000, 200_000]
+        .iter()
+        .map(|&p| scale.count(p))
+        .collect();
+    header(
+        "Figure 17",
+        "approximation vs |P| (δ_SA = 40, δ_CA = 10)",
+        &format!("k = 80, |Q| = {nq}, |P| in {p_values:?}"),
+    );
+
+    let mut rows = Vec::new();
+    let mut exact_costs: Vec<(String, f64)> = Vec::new();
+    for &np in &p_values {
+        let cfg = WorkloadConfig {
+            num_providers: nq,
+            num_customers: np,
+            capacity: CapacitySpec::Fixed(80),
+            q_dist: SpatialDistribution::Clustered,
+            p_dist: SpatialDistribution::Clustered,
+            seed: 2008,
+        };
+        let instance = build_instance(&cfg);
+        let exact = measure(&instance, Algorithm::Ida, np);
+        exact_costs.push((np.to_string(), exact.cost));
+        rows.push(exact);
+        for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+            rows.push(measure(&instance, Algorithm::Sa { delta: 40.0, refine }, np));
+            rows.push(measure(&instance, Algorithm::Ca { delta: 10.0, refine }, np));
+        }
+    }
+    let cost_of = |x: &str| {
+        exact_costs
+            .iter()
+            .find(|(k, _)| k == x)
+            .map(|&(_, c)| c)
+            .unwrap()
+    };
+    print_approx_table(&rows, cost_of);
+
+    let quality = |series: &str, np: usize| {
+        let x = np.to_string();
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+            .cost
+            / cost_of(&x)
+    };
+    // SA degrades as |P| grows in the customer-surplus regime (past the
+    // k·|Q| = |P| crossover the space around each provider group keeps
+    // getting denser, §5.3).
+    let crossover = 80 * nq;
+    let post: Vec<usize> = p_values.iter().copied().filter(|&p| p >= crossover).collect();
+    shape_check(
+        "SA's quality degrades as |P| grows past k|Q| = |P|",
+        quality("SAN", post[post.len() - 1]) >= quality("SAN", post[0]) - 1e-9,
+    );
+    shape_check(
+        "CA is more robust than SA at every |P| (quality never worse)",
+        p_values
+            .iter()
+            .all(|&np| quality("CAN", np) <= quality("SAN", np) + 1e-9),
+    );
+}

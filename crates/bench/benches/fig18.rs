@@ -1,0 +1,86 @@
+//! Figure 18 — approximation quality and time across the four distribution
+//! combinations (δ_SA = 40, δ_CA = 10).
+//!
+//! Expected shape (§5.3): CA is fastest everywhere; it is more accurate
+//! than SA when Q and P are similarly distributed, comparable otherwise;
+//! overall "CA typically computes a near-optimal matching, while being
+//! orders of magnitude faster than IDA".
+
+use cca::core::RefineMethod;
+use cca::datagen::{CapacitySpec, WorkloadConfig};
+use cca::Algorithm;
+use cca_bench::{
+    build_instance, header, measure, print_approx_table, shape_check, Scale, DIST_COMBOS,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    // Same halved scale as Figure 13 (cross-distribution instances explore
+    // far more edges).
+    let eff = Scale(scale.0 * 0.5);
+    let nq = eff.count(1000);
+    let np = eff.count(100_000);
+    header(
+        "Figure 18",
+        "approximation across distributions (δ_SA = 40, δ_CA = 10)",
+        &format!("|Q| = {nq}, |P| = {np}, k = 80"),
+    );
+
+    let mut rows = Vec::new();
+    let mut exact_costs: Vec<(String, f64)> = Vec::new();
+    for (qd, pd) in DIST_COMBOS {
+        let cfg = WorkloadConfig {
+            num_providers: nq,
+            num_customers: np,
+            capacity: CapacitySpec::Fixed(80),
+            q_dist: qd,
+            p_dist: pd,
+            seed: 2008,
+        };
+        let instance = build_instance(&cfg);
+        let label = format!("{}vs{}", qd.label(), pd.label());
+        let exact = measure(&instance, Algorithm::Ida, label.clone());
+        exact_costs.push((label.clone(), exact.cost));
+        rows.push(exact);
+        for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+            rows.push(measure(
+                &instance,
+                Algorithm::Sa { delta: 40.0, refine },
+                label.clone(),
+            ));
+            rows.push(measure(
+                &instance,
+                Algorithm::Ca { delta: 10.0, refine },
+                label.clone(),
+            ));
+        }
+    }
+    let cost_of = |x: &str| {
+        exact_costs
+            .iter()
+            .find(|(k, _)| k == x)
+            .map(|&(_, c)| c)
+            .unwrap()
+    };
+    print_approx_table(&rows, cost_of);
+
+    let row = |series: &str, x: &str| {
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+    };
+    shape_check(
+        "CA is more accurate than SA on similarly distributed Q and P",
+        row("CAN", "CvsC").cost <= row("SAN", "CvsC").cost
+            && row("CAN", "UvsU").cost <= row("SAN", "UvsU").cost,
+    );
+    shape_check(
+        "CA is faster than exact IDA on every combination",
+        DIST_COMBOS.iter().all(|(qd, pd)| {
+            let x = format!("{}vs{}", qd.label(), pd.label());
+            let ca = row("CAN", &x);
+            let ida = row("IDA", &x);
+            ca.cpu_s + ca.io_s < ida.cpu_s + ida.io_s
+        }),
+    );
+}

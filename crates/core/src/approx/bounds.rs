@@ -1,0 +1,33 @@
+//! Quality guarantees of the approximate methods (§4.4).
+
+/// Theorem 3: the assignment error of SA is at most `2·γ·δ`.
+///
+/// Sketch: replacing every provider of the optimal matching by its group
+/// representative changes each pair by at most δ (the weighted centroid lies
+/// within the group MBR of diagonal ≤ δ), and the refinement re-introduces
+/// at most δ per pair again.
+pub fn sa_error_bound(gamma: u64, delta: f64) -> f64 {
+    2.0 * gamma as f64 * delta
+}
+
+/// Theorem 4: the assignment error of CA is at most `γ·δ`.
+///
+/// The representative is the geometric centroid of the group MBR, so each
+/// replacement moves a pair by at most δ/2, twice.
+pub fn ca_error_bound(gamma: u64, delta: f64) -> f64 {
+    gamma as f64 * delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_scale_linearly() {
+        assert_eq!(sa_error_bound(10, 4.0), 80.0);
+        assert_eq!(ca_error_bound(10, 4.0), 40.0);
+        assert_eq!(sa_error_bound(0, 4.0), 0.0);
+        // CA's bound is exactly half of SA's at the same δ.
+        assert_eq!(ca_error_bound(7, 3.0) * 2.0, sa_error_bound(7, 3.0));
+    }
+}

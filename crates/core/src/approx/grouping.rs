@@ -1,0 +1,183 @@
+//! Hilbert-ordered greedy grouping under a diagonal budget.
+//!
+//! SA partitions the providers this way (§4.1: "points q ∈ Q are sorted
+//! according to their Hilbert values... each point q, in turn, is inserted
+//! into an existing group Gm so that the diagonal of Gm's MBR does not
+//! exceed δ; if no such group is found, a new group is formed"), and CA's
+//! merge step coalesces partition entries "into conceptual hyper-entries
+//! whose diagonal does not exceed δ" with the same procedure (§4.2).
+
+use cca_geo::{hilbert, Point, Rect, WORLD_SIZE};
+
+/// Greedily groups items (by their representative point, Hilbert-ordered)
+/// such that each group's combined MBR keeps its diagonal ≤ `delta`.
+///
+/// `rect_of` gives each item's extent (a degenerate rect for points).
+/// Returns groups as lists of item indices; every item lands in exactly one
+/// group and groups are non-empty.
+pub fn greedy_hilbert_groups<T>(
+    items: &[T],
+    point_of: impl Fn(&T) -> Point,
+    rect_of: impl Fn(&T) -> Rect,
+    delta: f64,
+) -> Vec<Vec<usize>> {
+    assert!(delta >= 0.0, "delta must be non-negative");
+    let points: Vec<Point> = items.iter().map(&point_of).collect();
+    let order = hilbert::sort_by_hilbert(&points, WORLD_SIZE);
+
+    let mut groups: Vec<(Rect, Vec<usize>)> = Vec::new();
+    for &i in &order {
+        let r = rect_of(&items[i]);
+        // Hilbert order keeps spatial neighbours adjacent, so scanning from
+        // the most recent group first finds a fit quickly.
+        let mut placed = false;
+        for (mbr, members) in groups.iter_mut().rev() {
+            let merged = mbr.union(&r);
+            if merged.diagonal() <= delta {
+                *mbr = merged;
+                members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push((r, vec![i]));
+        }
+    }
+    groups.into_iter().map(|(_, members)| members).collect()
+}
+
+/// A provider group produced by SA partitioning.
+#[derive(Clone, Debug)]
+pub struct ProviderGroup {
+    /// Member indices into the original provider list.
+    pub members: Vec<usize>,
+    /// Representative position: the capacity-weighted centroid (§4.1).
+    pub rep: Point,
+    /// Representative capacity: `Σ q.k` over members.
+    pub cap: u32,
+}
+
+/// Partitions providers for SA (§4.1) and derives the representatives.
+pub fn partition_providers(providers: &[(Point, u32)], delta: f64) -> Vec<ProviderGroup> {
+    let groups = greedy_hilbert_groups(
+        providers,
+        |&(p, _)| p,
+        |&(p, _)| Rect::from_point(p),
+        delta,
+    );
+    groups
+        .into_iter()
+        .map(|members| {
+            let cap: u32 = members.iter().map(|&i| providers[i].1).sum();
+            let total = f64::from(cap.max(1));
+            let mut x = 0.0;
+            let mut y = 0.0;
+            for &i in &members {
+                let (p, k) = providers[i];
+                x += p.x * f64::from(k);
+                y += p.y * f64::from(k);
+            }
+            // Zero-capacity groups fall back to the plain centroid.
+            let rep = if cap > 0 {
+                Point::new(x / total, y / total)
+            } else {
+                let n = members.len() as f64;
+                let (sx, sy) = members
+                    .iter()
+                    .fold((0.0, 0.0), |(ax, ay), &i| {
+                        (ax + providers[i].0.x, ay + providers[i].0.y)
+                    });
+                Point::new(sx / n, sy / n)
+            };
+            ProviderGroup { members, rep, cap }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_providers(n: usize, seed: u64) -> Vec<(Point, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (
+                    Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)),
+                    rng.random_range(1..10),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn groups_partition_the_input() {
+        let providers = random_providers(200, 61);
+        let groups = partition_providers(&providers, 80.0);
+        let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_diagonals_respect_delta() {
+        let providers = random_providers(300, 62);
+        for delta in [20.0, 40.0, 160.0] {
+            let groups = partition_providers(&providers, delta);
+            for g in &groups {
+                let mbr: Rect = g.members.iter().map(|&i| providers[i].0).collect();
+                assert!(
+                    mbr.diagonal() <= delta + 1e-9,
+                    "diag {} > {delta}",
+                    mbr.diagonal()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_delta_more_groups() {
+        let providers = random_providers(300, 63);
+        let few = partition_providers(&providers, 200.0).len();
+        let many = partition_providers(&providers, 10.0).len();
+        assert!(few < many);
+    }
+
+    #[test]
+    fn zero_delta_gives_singletons_for_distinct_points() {
+        let providers = random_providers(50, 64);
+        let groups = partition_providers(&providers, 0.0);
+        assert_eq!(groups.len(), 50);
+    }
+
+    #[test]
+    fn capacities_sum_and_centroid_is_weighted() {
+        let providers = vec![
+            (Point::new(0.0, 0.0), 1),
+            (Point::new(10.0, 0.0), 3),
+        ];
+        let groups = partition_providers(&providers, 100.0);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.cap, 4);
+        // Weighted centroid: (0*1 + 10*3) / 4 = 7.5.
+        assert!((g.rep.x - 7.5).abs() < 1e-12);
+        assert_eq!(g.rep.y, 0.0);
+    }
+
+    #[test]
+    fn rep_within_delta_of_every_member() {
+        // The geometric premise of Theorem 3: the weighted centroid is at
+        // most δ away from each member (both lie in an MBR of diagonal ≤ δ).
+        let providers = random_providers(400, 65);
+        let delta = 60.0;
+        for g in partition_providers(&providers, delta) {
+            for &i in &g.members {
+                assert!(g.rep.dist(&providers[i].0) <= delta + 1e-9);
+            }
+        }
+    }
+}

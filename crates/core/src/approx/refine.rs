@@ -1,0 +1,288 @@
+//! Refinement heuristics (§4.3).
+//!
+//! Both SA and CA end with many small subproblems: assign customers `P″` to
+//! providers `Q″` where each provider's quota is fixed by the concise
+//! matching. Running an exact solver per subproblem would be expensive; the
+//! paper proposes two heuristics, both implemented here.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cca_geo::{OrdF64, Point};
+
+/// Which §4.3 heuristic to use. Chart labels in the paper append "N" or "E"
+/// (e.g. SAN / SAE / CAN / CAE).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RefineMethod {
+    /// Round-robin incremental NN per provider.
+    #[default]
+    NnBased,
+    /// Globally closest (customer, available provider) pair first.
+    ExclusiveNn,
+}
+
+impl RefineMethod {
+    /// One-letter suffix used by the paper's chart labels.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            RefineMethod::NnBased => "N",
+            RefineMethod::ExclusiveNn => "E",
+        }
+    }
+}
+
+/// A provider in a refinement subproblem.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineProvider {
+    /// Index into the *original* provider list (carried through to pairs).
+    pub original: usize,
+    pub pos: Point,
+    /// Units this provider must receive, fixed by concise matching.
+    pub quota: u32,
+}
+
+/// Output pair: original provider index, customer id, distance, customer
+/// position.
+pub type RefinePair = (usize, u64, f64, Point);
+
+/// NN-based refinement: "computes the (next) NN of each q ∈ Q″ in a
+/// round-robin fashion in set P″; when discovering the NN p of q, include
+/// (q, p) in M and remove p from P″" (§4.3).
+pub fn nn_based(providers: &[RefineProvider], customers: &[(Point, u64)]) -> Vec<RefinePair> {
+    // Per-provider distance-sorted candidate lists with lazy deletion.
+    let mut order: Vec<Vec<u32>> = providers
+        .iter()
+        .map(|q| {
+            let mut ids: Vec<u32> = (0..customers.len() as u32).collect();
+            ids.sort_by(|&a, &b| {
+                q.pos
+                    .dist(&customers[a as usize].0)
+                    .total_cmp(&q.pos.dist(&customers[b as usize].0))
+            });
+            ids.reverse(); // pop() from the back yields nearest-first
+            ids
+        })
+        .collect();
+    let mut taken = vec![false; customers.len()];
+    let mut remaining: Vec<u32> = providers.iter().map(|q| q.quota).collect();
+    let mut out = Vec::new();
+    let mut active: Vec<usize> = (0..providers.len()).filter(|&i| remaining[i] > 0).collect();
+
+    while !active.is_empty() {
+        let mut next_active = Vec::with_capacity(active.len());
+        for &qi in &active {
+            // Next not-yet-taken NN of qi.
+            let nn = loop {
+                match order[qi].pop() {
+                    Some(c) if taken[c as usize] => continue,
+                    other => break other,
+                }
+            };
+            let Some(c) = nn else {
+                continue; // P″ exhausted for this provider
+            };
+            taken[c as usize] = true;
+            remaining[qi] -= 1;
+            let (pos, id) = customers[c as usize];
+            out.push((providers[qi].original, id, providers[qi].pos.dist(&pos), pos));
+            if remaining[qi] > 0 {
+                next_active.push(qi);
+            }
+        }
+        if next_active.len() == active.len() && out.is_empty() {
+            break; // defensive: no progress possible
+        }
+        active = next_active;
+    }
+    out
+}
+
+/// Exclusive NN refinement: repeatedly "identify the p ∈ P″ with the minimum
+/// distance from any q ∈ Q″ that has not reached its number of instances"
+/// and assign that globally closest pair (§4.3).
+pub fn exclusive_nn(providers: &[RefineProvider], customers: &[(Point, u64)]) -> Vec<RefinePair> {
+    let best_available = |c: usize, remaining: &[u32]| -> Option<(f64, usize)> {
+        let pos = customers[c].0;
+        let mut best: Option<(f64, usize)> = None;
+        for (qi, q) in providers.iter().enumerate() {
+            if remaining[qi] == 0 {
+                continue;
+            }
+            let d = q.pos.dist(&pos);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, qi));
+            }
+        }
+        best
+    };
+
+    let mut remaining: Vec<u32> = providers.iter().map(|q| q.quota).collect();
+    let mut taken = vec![false; customers.len()];
+    let mut out = Vec::new();
+    // Heap of each customer's current best available provider.
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u32, u32)>> = BinaryHeap::new();
+    for c in 0..customers.len() {
+        if let Some((d, qi)) = best_available(c, &remaining) {
+            heap.push(Reverse((OrdF64::new(d), c as u32, qi as u32)));
+        }
+    }
+    while let Some(Reverse((d, c, qi))) = heap.pop() {
+        let (c, qi) = (c as usize, qi as usize);
+        if taken[c] {
+            continue;
+        }
+        if remaining[qi] == 0 {
+            // Stale: re-aim this customer at its best remaining provider.
+            if let Some((nd, nqi)) = best_available(c, &remaining) {
+                heap.push(Reverse((OrdF64::new(nd), c as u32, nqi as u32)));
+            }
+            continue;
+        }
+        taken[c] = true;
+        remaining[qi] -= 1;
+        out.push((providers[qi].original, customers[c].1, d.get(), customers[c].0));
+    }
+    out
+}
+
+/// Dispatches on the method.
+pub fn refine(
+    method: RefineMethod,
+    providers: &[RefineProvider],
+    customers: &[(Point, u64)],
+) -> Vec<RefinePair> {
+    match method {
+        RefineMethod::NnBased => nn_based(providers, customers),
+        RefineMethod::ExclusiveNn => exclusive_nn(providers, customers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn q(original: usize, x: f64, y: f64, quota: u32) -> RefineProvider {
+        RefineProvider {
+            original,
+            pos: Point::new(x, y),
+            quota,
+        }
+    }
+
+    fn check_valid(
+        providers: &[RefineProvider],
+        customers: &[(Point, u64)],
+        pairs: &[RefinePair],
+    ) {
+        // Quotas respected; customers unique; expected total size.
+        let mut per_q = std::collections::HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for &(orig, id, d, _pos) in pairs {
+            *per_q.entry(orig).or_insert(0u32) += 1;
+            assert!(seen.insert(id), "customer {id} assigned twice");
+            assert!(d >= 0.0);
+        }
+        for p in providers {
+            assert!(per_q.get(&p.original).copied().unwrap_or(0) <= p.quota);
+        }
+        let total_quota: u32 = providers.iter().map(|p| p.quota).sum();
+        let expect = (total_quota as usize).min(customers.len());
+        assert_eq!(pairs.len(), expect, "refinement must exhaust quotas or P″");
+    }
+
+    #[test]
+    fn both_methods_fill_quotas_exactly() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for trial in 0..30 {
+            let nq = rng.random_range(1..5);
+            let providers: Vec<RefineProvider> = (0..nq)
+                .map(|i| {
+                    q(
+                        i,
+                        rng.random_range(0.0..100.0),
+                        rng.random_range(0.0..100.0),
+                        rng.random_range(1..5),
+                    )
+                })
+                .collect();
+            let total: u32 = providers.iter().map(|p| p.quota).sum();
+            // Sometimes more customers than quota, sometimes fewer.
+            let nc = rng.random_range(1..=(total as usize + 4));
+            let customers: Vec<(Point, u64)> = (0..nc)
+                .map(|i| {
+                    (
+                        Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)),
+                        i as u64,
+                    )
+                })
+                .collect();
+            for method in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+                let pairs = refine(method, &providers, &customers);
+                check_valid(&providers, &customers, &pairs);
+                let _ = trial;
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_nn_picks_globally_closest_first() {
+        // Two providers with quota 1 each; customer 0 is very close to q0,
+        // customer 1 equidistant-ish. Exclusive must give (q0, c0).
+        let providers = [q(0, 0.0, 0.0, 1), q(1, 10.0, 0.0, 1)];
+        let customers = [(Point::new(0.5, 0.0), 0u64), (Point::new(5.0, 0.0), 1)];
+        let pairs = exclusive_nn(&providers, &customers);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].0, pairs[0].1, pairs[0].2), (0, 0, 0.5));
+        // Customer 1 goes to q1 (dist 5) since q0 is exhausted.
+        assert_eq!(pairs[1].0, 1);
+        assert_eq!(pairs[1].1, 1);
+    }
+
+    #[test]
+    fn nn_based_round_robin_alternates_providers() {
+        // q0 and q1 both have quota 2 and four customers on a line; the
+        // round-robin gives each provider its nearest in turn.
+        let providers = [q(0, 0.0, 0.0, 2), q(1, 30.0, 0.0, 2)];
+        let customers = [
+            (Point::new(1.0, 0.0), 0u64),
+            (Point::new(2.0, 0.0), 1),
+            (Point::new(29.0, 0.0), 2),
+            (Point::new(28.0, 0.0), 3),
+        ];
+        let pairs = nn_based(&providers, &customers);
+        check_valid(&providers, &customers, &pairs);
+        // q0 must get {0, 1}, q1 must get {2, 3}.
+        let q0: Vec<u64> = pairs.iter().filter(|p| p.0 == 0).map(|p| p.1).collect();
+        assert_eq!(q0, vec![0, 1]);
+    }
+
+    #[test]
+    fn surplus_customers_left_unassigned() {
+        let providers = [q(0, 0.0, 0.0, 1)];
+        let customers = [
+            (Point::new(5.0, 0.0), 10u64),
+            (Point::new(1.0, 0.0), 11),
+            (Point::new(9.0, 0.0), 12),
+        ];
+        for method in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+            let pairs = refine(method, &providers, &customers);
+            assert_eq!(pairs.len(), 1);
+            assert_eq!(pairs[0].1, 11, "nearest customer wins the only slot");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(nn_based(&[], &[]).is_empty());
+        assert!(exclusive_nn(&[], &[(Point::new(0.0, 0.0), 0)]).is_empty());
+        assert!(nn_based(&[q(0, 0.0, 0.0, 3)], &[]).is_empty());
+    }
+
+    #[test]
+    fn method_suffixes_match_paper_labels() {
+        assert_eq!(RefineMethod::NnBased.suffix(), "N");
+        assert_eq!(RefineMethod::ExclusiveNn.suffix(), "E");
+    }
+}

@@ -1,0 +1,245 @@
+//! Exact CCA algorithms (§3): RIA, NIA, IDA over a shared incremental-SSPA
+//! engine.
+
+pub mod engine;
+pub mod ida;
+pub mod nia;
+pub mod ria;
+pub mod source;
+
+pub use engine::Engine;
+pub use ida::{ida, IdaConfig, IdaKeyMode};
+pub use nia::{nia, NiaConfig};
+pub use ria::{ria, RiaConfig};
+pub use source::{CustomerSource, MemorySource, RtreeSource, SourcedCustomer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_flow::sspa::{solve_complete_bipartite, unit_customers, FlowProvider};
+    use cca_geo::Point;
+    use cca_rtree::RTree;
+    use cca_storage::PageStore;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(
+        seed: u64,
+        nq: usize,
+        np: usize,
+        max_cap: u32,
+    ) -> (Vec<(Point, u32)>, Vec<Point>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let providers: Vec<(Point, u32)> = (0..nq)
+            .map(|_| {
+                (
+                    Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)),
+                    rng.random_range(1..=max_cap),
+                )
+            })
+            .collect();
+        let customers: Vec<Point> = (0..np)
+            .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
+            .collect();
+        (providers, customers)
+    }
+
+    fn optimal_cost(providers: &[(Point, u32)], customers: &[Point]) -> f64 {
+        let fps: Vec<FlowProvider> = providers
+            .iter()
+            .map(|&(pos, cap)| FlowProvider { pos, cap })
+            .collect();
+        let (asg, _) = solve_complete_bipartite(&fps, &unit_customers(customers));
+        asg.cost
+    }
+
+    fn build_tree(customers: &[Point]) -> RTree {
+        let items: Vec<(Point, u64)> = customers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u64))
+            .collect();
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
+        tree.finish_build(1.0);
+        tree
+    }
+
+    /// Runs all three exact algorithms on both source kinds and checks that
+    /// each yields a valid matching with the optimal cost.
+    fn check_all_exact(seed: u64, nq: usize, np: usize, max_cap: u32) {
+        let (providers, customers) = random_instance(seed, nq, np, max_cap);
+        let want = optimal_cost(&providers, &customers);
+        let tree = build_tree(&customers);
+        let qpos: Vec<Point> = providers.iter().map(|&(p, _)| p).collect();
+
+        // RIA over the R-tree (large theta keeps the test fast).
+        let mut src = RtreeSource::new(&tree, qpos.clone());
+        let (m, _) = ria(&providers, &mut src, &RiaConfig { theta: 25.0 });
+        m.validate_unit(&providers, &customers).unwrap();
+        assert!(
+            (m.cost() - want).abs() < 1e-6,
+            "seed {seed}: RIA {} vs optimal {want}",
+            m.cost()
+        );
+
+        // NIA.
+        let mut src = RtreeSource::new(&tree, qpos.clone());
+        let (m, _) = nia(&providers, &mut src, &NiaConfig::default());
+        m.validate_unit(&providers, &customers).unwrap();
+        assert!(
+            (m.cost() - want).abs() < 1e-6,
+            "seed {seed}: NIA {} vs optimal {want}",
+            m.cost()
+        );
+
+        // NIA without PUA (ablation path must stay correct).
+        let mut src = RtreeSource::new(&tree, qpos.clone());
+        let (m, _) = nia(&providers, &mut src, &NiaConfig { use_pua: false });
+        assert!((m.cost() - want).abs() < 1e-6, "seed {seed}: NIA/noPUA");
+
+        // IDA in both key modes, with and without the fast phase.
+        for key_mode in [IdaKeyMode::Paper, IdaKeyMode::Safe] {
+            for disable_fast_phase in [false, true] {
+                let mut src = RtreeSource::new(&tree, qpos.clone());
+                let cfg = IdaConfig {
+                    key_mode,
+                    disable_fast_phase,
+                    disable_pua: false,
+                };
+                let (m, _) = ida(&providers, &mut src, &cfg);
+                m.validate_unit(&providers, &customers).unwrap();
+                assert!(
+                    (m.cost() - want).abs() < 1e-6,
+                    "seed {seed}: IDA({key_mode:?}, nofast={disable_fast_phase}) {} vs {want}",
+                    m.cost()
+                );
+            }
+        }
+
+        // IDA over the grouped-ANN source.
+        let mut src = RtreeSource::with_ann_groups(&tree, qpos.clone(), 4);
+        let (m, _) = ida(&providers, &mut src, &IdaConfig::default());
+        assert!((m.cost() - want).abs() < 1e-6, "seed {seed}: IDA/ANN");
+
+        // IDA over the in-memory source (the approximation phases rely on
+        // this combination).
+        let mut src = MemorySource::new(qpos, customers.iter().map(|&p| (p, 1)).collect());
+        let (m, _) = ida(&providers, &mut src, &IdaConfig::default());
+        assert!((m.cost() - want).abs() < 1e-6, "seed {seed}: IDA/mem");
+    }
+
+    #[test]
+    fn exact_algorithms_match_sspa_small() {
+        check_all_exact(1, 3, 12, 3);
+    }
+
+    #[test]
+    fn exact_algorithms_match_sspa_surplus_capacity() {
+        // Σk > |P|: some providers stay underutilised.
+        check_all_exact(2, 4, 6, 5);
+    }
+
+    #[test]
+    fn exact_algorithms_match_sspa_surplus_customers() {
+        // Σk < |P|: some customers stay unmatched.
+        check_all_exact(3, 2, 25, 4);
+    }
+
+    #[test]
+    fn exact_algorithms_match_sspa_unit_capacities() {
+        // One-to-one matching (the classical assignment problem).
+        check_all_exact(4, 8, 8, 1);
+    }
+
+    #[test]
+    fn exact_algorithms_match_sspa_medium() {
+        check_all_exact(5, 10, 120, 8);
+    }
+
+    #[test]
+    fn exact_single_provider() {
+        check_all_exact(6, 1, 30, 10);
+    }
+
+    #[test]
+    fn weighted_customers_memory_source_optimal() {
+        // Weighted reps (CA concise matching): compare against the
+        // complete-bipartite solver with the same weights.
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let nq = rng.random_range(2..5);
+            let nr = rng.random_range(2..8);
+            let providers: Vec<(Point, u32)> = (0..nq)
+                .map(|_| {
+                    (
+                        Point::new(rng.random_range(0.0..500.0), rng.random_range(0.0..500.0)),
+                        rng.random_range(1..6),
+                    )
+                })
+                .collect();
+            let reps: Vec<(Point, u32)> = (0..nr)
+                .map(|_| {
+                    (
+                        Point::new(rng.random_range(0.0..500.0), rng.random_range(0.0..500.0)),
+                        rng.random_range(1..5),
+                    )
+                })
+                .collect();
+            let fps: Vec<FlowProvider> = providers
+                .iter()
+                .map(|&(pos, cap)| FlowProvider { pos, cap })
+                .collect();
+            let fcs: Vec<cca_flow::FlowCustomer> = reps
+                .iter()
+                .map(|&(pos, weight)| cca_flow::FlowCustomer { pos, weight })
+                .collect();
+            let (want, _) = solve_complete_bipartite(&fps, &fcs);
+
+            let qpos: Vec<Point> = providers.iter().map(|&(p, _)| p).collect();
+            let mut src = MemorySource::new(qpos, reps.clone());
+            let (m, _) = ida(&providers, &mut src, &IdaConfig::default());
+            assert_eq!(m.size(), want.size(), "trial {trial}");
+            assert!(
+                (m.cost() - want.cost).abs() < 1e-6,
+                "trial {trial}: IDA weighted {} vs SSPA {}",
+                m.cost(),
+                want.cost
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_ida_paper_mode_is_optimal(seed in 0u64..100_000,
+                                          nq in 1usize..8,
+                                          np in 1usize..60,
+                                          max_cap in 1u32..6) {
+            let (providers, customers) = random_instance(seed, nq, np, max_cap);
+            let want = optimal_cost(&providers, &customers);
+            let tree = build_tree(&customers);
+            let qpos: Vec<Point> = providers.iter().map(|&(p, _)| p).collect();
+            let mut src = RtreeSource::new(&tree, qpos);
+            let (m, _) = ida(&providers, &mut src, &IdaConfig::default());
+            prop_assert!(m.validate_unit(&providers, &customers).is_ok());
+            prop_assert!((m.cost() - want).abs() < 1e-6,
+                         "IDA {} vs optimal {}", m.cost(), want);
+        }
+
+        #[test]
+        fn prop_nia_is_optimal(seed in 0u64..100_000,
+                               nq in 1usize..6,
+                               np in 1usize..40,
+                               max_cap in 1u32..5) {
+            let (providers, customers) = random_instance(seed, nq, np, max_cap);
+            let want = optimal_cost(&providers, &customers);
+            let tree = build_tree(&customers);
+            let qpos: Vec<Point> = providers.iter().map(|&(p, _)| p).collect();
+            let mut src = RtreeSource::new(&tree, qpos);
+            let (m, _) = nia(&providers, &mut src, &NiaConfig::default());
+            prop_assert!((m.cost() - want).abs() < 1e-6,
+                         "NIA {} vs optimal {}", m.cost(), want);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Customer sources: where the incremental algorithms get their edges from.
+//!
+//! RIA/NIA/IDA are defined against a disk-resident, R-tree-indexed customer
+//! set (§3), while the approximate algorithms re-run IDA on small in-memory
+//! sets (provider representatives vs. `P`, or `Q` vs. customer
+//! representatives, §4). [`CustomerSource`] abstracts over both so the same
+//! algorithm code serves every phase.
+
+use cca_geo::Point;
+use cca_rtree::{GroupAnn, IncNn, RTree};
+
+/// A customer record yielded by a source.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SourcedCustomer {
+    /// Stable identifier (index into `P`, or representative id).
+    pub id: u64,
+    pub pos: Point,
+    /// Weight: 1 for ordinary customers, `g.w` for CA representatives.
+    pub weight: u32,
+    /// Distance from the querying provider.
+    pub dist: f64,
+}
+
+/// Incremental access to customers, per provider.
+pub trait CustomerSource {
+    /// Upper bound (exclusive) on customer ids.
+    fn num_customers(&self) -> usize;
+
+    /// Total customer weight `Σ p.w` (the `|P|` side of γ).
+    fn total_weight(&self) -> u64;
+
+    /// Next nearest unreturned customer of provider `qi`, or `None` when the
+    /// set is exhausted for this provider.
+    fn next_nn(&mut self, qi: usize) -> Option<SourcedCustomer>;
+
+    /// Customers with `lo < dist(q_i, p) ≤ hi` (or `dist ≤ hi` when
+    /// `include_lo`), for RIA's (annular) range searches.
+    fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer>;
+}
+
+/// Customers indexed by the disk-resident R-tree (the paper's primary
+/// setting). NN streams are either one [`IncNn`] cursor per provider or the
+/// grouped incremental ANN of §3.4.2.
+pub struct RtreeSource<'t> {
+    tree: &'t RTree,
+    providers: Vec<Point>,
+    cursors: Cursors<'t>,
+}
+
+enum Cursors<'t> {
+    Plain(Vec<IncNn<'t>>),
+    Grouped {
+        groups: Vec<GroupAnn<'t>>,
+        /// provider index → (group, member index within group)
+        map: Vec<(u32, u32)>,
+    },
+}
+
+impl<'t> RtreeSource<'t> {
+    /// One independent incremental-NN cursor per provider.
+    pub fn new(tree: &'t RTree, providers: Vec<Point>) -> Self {
+        let cursors = Cursors::Plain(providers.iter().map(|&q| tree.inc_nn(q)).collect());
+        RtreeSource {
+            tree,
+            providers,
+            cursors,
+        }
+    }
+
+    /// Grouped incremental ANN (§3.4.2): providers are Hilbert-sorted and cut
+    /// into groups of `group_size`; members of a group share R-tree reads.
+    pub fn with_ann_groups(tree: &'t RTree, providers: Vec<Point>, group_size: usize) -> Self {
+        assert!(group_size >= 1);
+        let order = cca_geo::hilbert::sort_by_hilbert(&providers, cca_geo::WORLD_SIZE);
+        let mut groups = Vec::new();
+        let mut map = vec![(0u32, 0u32); providers.len()];
+        for chunk in order.chunks(group_size) {
+            let gidx = groups.len() as u32;
+            let members: Vec<Point> = chunk.iter().map(|&i| providers[i]).collect();
+            for (m, &i) in chunk.iter().enumerate() {
+                map[i] = (gidx, m as u32);
+            }
+            groups.push(tree.group_ann(members));
+        }
+        RtreeSource {
+            tree,
+            providers,
+            cursors: Cursors::Grouped { groups, map },
+        }
+    }
+}
+
+impl CustomerSource for RtreeSource<'_> {
+    fn num_customers(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.tree.len() as u64
+    }
+
+    fn next_nn(&mut self, qi: usize) -> Option<SourcedCustomer> {
+        let hit = match &mut self.cursors {
+            Cursors::Plain(cursors) => cursors[qi].next(),
+            Cursors::Grouped { groups, map } => {
+                let (g, m) = map[qi];
+                groups[g as usize].next_nn(m as usize)
+            }
+        };
+        hit.map(|(pos, id, dist)| SourcedCustomer {
+            id,
+            pos,
+            weight: 1,
+            dist,
+        })
+    }
+
+    fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer> {
+        let q = self.providers[qi];
+        let hits = if include_lo {
+            self.tree.range_search(q, hi)
+        } else {
+            self.tree.annular_range_search(q, lo, hi)
+        };
+        hits.into_iter()
+            .map(|(pos, id, dist)| SourcedCustomer {
+                id,
+                pos,
+                weight: 1,
+                dist,
+            })
+            .collect()
+    }
+}
+
+/// In-memory customers with optional weights; used for the approximate
+/// algorithms' concise matching and refinement phases, and handy in tests.
+///
+/// Per-provider NN streams are materialised eagerly (the sets involved are
+/// small by design — that is the whole point of the approximation).
+pub struct MemorySource {
+    customers: Vec<(Point, u32)>,
+    /// Per provider: customer ids sorted by distance, plus a cursor.
+    streams: Vec<(Vec<u32>, usize)>,
+    providers: Vec<Point>,
+}
+
+impl MemorySource {
+    pub fn new(providers: Vec<Point>, customers: Vec<(Point, u32)>) -> Self {
+        let streams = providers
+            .iter()
+            .map(|q| {
+                let mut ids: Vec<u32> = (0..customers.len() as u32).collect();
+                ids.sort_by(|&a, &b| {
+                    q.dist(&customers[a as usize].0)
+                        .total_cmp(&q.dist(&customers[b as usize].0))
+                });
+                (ids, 0usize)
+            })
+            .collect();
+        MemorySource {
+            customers,
+            streams,
+            providers,
+        }
+    }
+
+    /// Position and weight of customer `id`.
+    pub fn customer(&self, id: u64) -> (Point, u32) {
+        self.customers[usize::try_from(id).expect("id fits usize")]
+    }
+}
+
+impl CustomerSource for MemorySource {
+    fn num_customers(&self) -> usize {
+        self.customers.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.customers.iter().map(|&(_, w)| u64::from(w)).sum()
+    }
+
+    fn next_nn(&mut self, qi: usize) -> Option<SourcedCustomer> {
+        let (ids, cursor) = &mut self.streams[qi];
+        let id = *ids.get(*cursor)?;
+        *cursor += 1;
+        let (pos, weight) = self.customers[id as usize];
+        Some(SourcedCustomer {
+            id: u64::from(id),
+            pos,
+            weight,
+            dist: self.providers[qi].dist(&pos),
+        })
+    }
+
+    fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer> {
+        let q = self.providers[qi];
+        self.customers
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &(pos, weight))| {
+                let d = q.dist(&pos);
+                let above = if include_lo { d >= lo } else { d > lo };
+                (above && d <= hi).then_some(SourcedCustomer {
+                    id: id as u64,
+                    pos,
+                    weight,
+                    dist: d,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_storage::PageStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn memory_source_streams_ascending() {
+        let customers: Vec<(Point, u32)> =
+            random_points(100, 1).into_iter().map(|p| (p, 1)).collect();
+        let providers = random_points(3, 2);
+        let mut src = MemorySource::new(providers, customers);
+        for qi in 0..3 {
+            let mut last = 0.0;
+            let mut n = 0;
+            while let Some(c) = src.next_nn(qi) {
+                assert!(c.dist >= last);
+                last = c.dist;
+                n += 1;
+            }
+            assert_eq!(n, 100);
+        }
+    }
+
+    #[test]
+    fn memory_source_range_matches_brute() {
+        let customers: Vec<(Point, u32)> =
+            random_points(200, 3).into_iter().map(|p| (p, 1)).collect();
+        let providers = random_points(1, 4);
+        let q = providers[0];
+        let mut src = MemorySource::new(providers, customers.clone());
+        let got = src.range(0, 0.0, 100.0, true);
+        let want = customers
+            .iter()
+            .filter(|&&(p, _)| q.dist(&p) <= 100.0)
+            .count();
+        assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn rtree_source_matches_memory_source_streams() {
+        let pts = random_points(500, 5);
+        let items: Vec<(Point, u64)> = pts.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect();
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 2048), &items);
+        let providers = random_points(4, 6);
+
+        let mut rt = RtreeSource::new(&tree, providers.clone());
+        let mut mem = MemorySource::new(
+            providers.clone(),
+            pts.iter().map(|&p| (p, 1)).collect(),
+        );
+        for qi in 0..providers.len() {
+            for _ in 0..50 {
+                let a = rt.next_nn(qi).unwrap();
+                let b = mem.next_nn(qi).unwrap();
+                assert!((a.dist - b.dist).abs() < 1e-12);
+            }
+        }
+        assert_eq!(rt.total_weight(), 500);
+        assert_eq!(mem.total_weight(), 500);
+    }
+
+    #[test]
+    fn grouped_source_yields_same_distances_as_plain() {
+        let pts = random_points(400, 7);
+        let items: Vec<(Point, u64)> = pts.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect();
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 2048), &items);
+        let providers = random_points(10, 8);
+
+        let mut plain = RtreeSource::new(&tree, providers.clone());
+        let mut grouped = RtreeSource::with_ann_groups(&tree, providers.clone(), 4);
+        for qi in 0..providers.len() {
+            for _ in 0..30 {
+                let a = plain.next_nn(qi).unwrap();
+                let b = grouped.next_nn(qi).unwrap();
+                assert!(
+                    (a.dist - b.dist).abs() < 1e-12,
+                    "qi={qi}: {} vs {}",
+                    a.dist,
+                    b.dist
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_memory_source_total_weight() {
+        let customers = vec![
+            (Point::new(0.0, 0.0), 3),
+            (Point::new(1.0, 1.0), 5),
+        ];
+        let src = MemorySource::new(vec![Point::new(0.0, 0.0)], customers);
+        assert_eq!(src.total_weight(), 8);
+        assert_eq!(src.num_customers(), 2);
+        assert_eq!(src.customer(1).1, 5);
+    }
+}

@@ -1,0 +1,26 @@
+//! Exact and approximate Capacity Constrained Assignment.
+//!
+//! This crate implements the contribution of "Capacity Constrained
+//! Assignment in Spatial Databases" (SIGMOD 2008): given customers `P`
+//! (disk-resident, R-tree indexed) and providers `Q` with capacities, find
+//! the maximal matching of minimum total Euclidean cost.
+//!
+//! * [`exact`] — RIA, NIA and IDA (§3) over a shared incremental-SSPA
+//!   engine, with the PUA (§3.4.1) and grouped-ANN (§3.4.2) optimisations.
+//! * `approx` — SA and CA (§4) with NN-based and exclusive-NN refinement and
+//!   the error bounds of Theorems 3–4.
+//! * [`matching`] / [`stats`] — result and measurement types shared by all
+//!   algorithms and by the benchmark harness.
+
+pub mod approx;
+pub mod exact;
+pub mod matching;
+pub mod stats;
+
+pub use approx::{ca, ca_error_bound, sa, sa_error_bound, CaConfig, RefineMethod, SaConfig};
+pub use exact::{
+    ida, nia, ria, CustomerSource, IdaConfig, IdaKeyMode, MemorySource, NiaConfig, RiaConfig,
+    RtreeSource,
+};
+pub use matching::{MatchPair, Matching};
+pub use stats::AlgoStats;

@@ -1,0 +1,62 @@
+//! Per-run algorithm statistics — the quantities the paper's figures plot.
+
+use std::time::Duration;
+
+use cca_storage::IoStats;
+
+/// Counters collected by every CCA algorithm run.
+///
+/// `esub_edges` is the `|Esub|` of Figures 9–13 (number of q→p edges
+/// materialised in the subgraph); CPU time is measured, I/O time is charged
+/// from `io.faults` at 10 ms/fault exactly as in §5.1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlgoStats {
+    /// q→p edges inserted into the subgraph (`|Esub|`).
+    pub esub_edges: u64,
+    /// Full Dijkstra executions.
+    pub dijkstra_runs: u64,
+    /// PUA invocations (edge insertions re-optimised incrementally).
+    pub pua_runs: u64,
+    /// Completed SSPA iterations (valid shortest paths augmented) = γ.
+    pub iterations: u64,
+    /// Shortest paths rejected by the Theorem-1 test.
+    pub invalid_paths: u64,
+    /// Matches produced by IDA's Theorem-2 fast phase (no Dijkstra).
+    pub fast_phase_matches: u64,
+    /// Wall-clock CPU time of the algorithm (excludes index construction).
+    pub cpu_time: Duration,
+    /// Buffer-pool traffic during the run.
+    pub io: IoStats,
+}
+
+impl AlgoStats {
+    /// The paper's "total time": measured CPU time plus charged I/O time.
+    pub fn total_time_s(&self) -> f64 {
+        self.cpu_time.as_secs_f64() + self.io.charged_io_time_s()
+    }
+
+    /// Charged I/O seconds (faults × 10 ms).
+    pub fn io_time_s(&self) -> f64 {
+        self.io.charged_io_time_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_combines_cpu_and_charged_io() {
+        let s = AlgoStats {
+            cpu_time: Duration::from_millis(1500),
+            io: IoStats {
+                hits: 0,
+                faults: 200,
+                writes: 0,
+            },
+            ..Default::default()
+        };
+        assert!((s.io_time_s() - 2.0).abs() < 1e-12);
+        assert!((s.total_time_s() - 3.5).abs() < 1e-12);
+    }
+}

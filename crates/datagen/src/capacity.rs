@@ -1,0 +1,97 @@
+//! Provider capacity generation.
+//!
+//! The paper's defaults give every provider `k = 80`; Figure 12 additionally
+//! evaluates *mixed* capacities "taken randomly from the ranges shown as
+//! labels on the horizontal axis" (e.g. 40–120).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Capacity assignment policy for service providers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapacitySpec {
+    /// All providers share one capacity (Table 2 default: 80).
+    Fixed(u32),
+    /// Capacities drawn uniformly from `[lo, hi]` (Figure 12).
+    Mixed { lo: u32, hi: u32 },
+}
+
+impl CapacitySpec {
+    /// Generates capacities for `n` providers.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u32> {
+        match *self {
+            CapacitySpec::Fixed(k) => {
+                assert!(k > 0, "capacity must be positive");
+                vec![k; n]
+            }
+            CapacitySpec::Mixed { lo, hi } => {
+                assert!(lo > 0 && lo <= hi, "invalid capacity range {lo}..={hi}");
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n).map(|_| rng.random_range(lo..=hi)).collect()
+            }
+        }
+    }
+
+    /// Expected per-provider capacity (used to scale experiment axes).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            CapacitySpec::Fixed(k) => f64::from(k),
+            CapacitySpec::Mixed { lo, hi } => (f64::from(lo) + f64::from(hi)) / 2.0,
+        }
+    }
+
+    /// Axis label, matching the paper's figures ("80" or "40~120").
+    pub fn label(&self) -> String {
+        match *self {
+            CapacitySpec::Fixed(k) => k.to_string(),
+            CapacitySpec::Mixed { lo, hi } => format!("{lo}~{hi}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_capacities_are_uniform() {
+        let caps = CapacitySpec::Fixed(80).generate(5, 0);
+        assert_eq!(caps, vec![80; 5]);
+        assert_eq!(CapacitySpec::Fixed(80).mean(), 80.0);
+        assert_eq!(CapacitySpec::Fixed(80).label(), "80");
+    }
+
+    #[test]
+    fn mixed_capacities_stay_in_range() {
+        let spec = CapacitySpec::Mixed { lo: 40, hi: 120 };
+        let caps = spec.generate(1000, 5);
+        assert!(caps.iter().all(|&k| (40..=120).contains(&k)));
+        // With 1000 draws both extremes should appear.
+        assert!(caps.iter().any(|&k| k < 60));
+        assert!(caps.iter().any(|&k| k > 100));
+        assert_eq!(spec.label(), "40~120");
+    }
+
+    #[test]
+    fn mixed_generation_is_deterministic() {
+        let spec = CapacitySpec::Mixed { lo: 10, hi: 30 };
+        assert_eq!(spec.generate(20, 7), spec.generate(20, 7));
+        assert_ne!(spec.generate(20, 7), spec.generate(20, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_fixed_capacity_rejected() {
+        CapacitySpec::Fixed(0).generate(1, 0);
+    }
+
+    #[test]
+    fn paper_figure12_ranges() {
+        // The five ranges of Figure 12.
+        for (lo, hi) in [(10, 30), (20, 60), (40, 120), (80, 240), (160, 480)] {
+            let spec = CapacitySpec::Mixed { lo, hi };
+            let caps = spec.generate(100, 1);
+            assert!(caps.iter().all(|&k| (lo..=hi).contains(&k)));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Synthetic road network.
+//!
+//! The paper generates both point sets "on the road map of San Francisco"
+//! with the Brinkhoff network-based generator (§5.1). Neither the map nor
+//! the generator is redistributable here, so we synthesise a road network
+//! with the same statistical role: a dense, roughly planar street grid whose
+//! edges points can be placed on. The network is a jittered grid with random
+//! street dropout — enough irregularity that points do not align on exact
+//! rows, while preserving the "points lie on 1-D structures embedded in 2-D"
+//! character that distinguishes road data from uniform noise (DESIGN.md §5
+//! documents this substitution).
+
+use cca_geo::{Point, WORLD_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A road network: nodes (junctions) and undirected edges (street segments).
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    pub nodes: Vec<Point>,
+    /// Indices into `nodes`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl RoadNetwork {
+    /// Builds a jittered `grid × grid` street network in `[0, WORLD_SIZE]²`.
+    ///
+    /// * `grid` — junctions per side (SF-like density at ~64),
+    /// * `dropout` — fraction of street segments removed at random,
+    /// * `seed` — RNG seed (the generator is fully deterministic).
+    pub fn synthetic(grid: usize, dropout: f64, seed: u64) -> Self {
+        assert!(grid >= 2, "need at least a 2x2 grid");
+        assert!((0.0..1.0).contains(&dropout), "dropout must be in [0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spacing = WORLD_SIZE / (grid as f64 - 1.0).max(1.0);
+        let jitter = spacing * 0.35;
+
+        let mut nodes = Vec::with_capacity(grid * grid);
+        for gy in 0..grid {
+            for gx in 0..grid {
+                let base_x = gx as f64 * spacing;
+                let base_y = gy as f64 * spacing;
+                let dx = rng.random_range(-jitter..jitter);
+                let dy = rng.random_range(-jitter..jitter);
+                nodes.push(Point::new(
+                    (base_x + dx).clamp(0.0, WORLD_SIZE),
+                    (base_y + dy).clamp(0.0, WORLD_SIZE),
+                ));
+            }
+        }
+
+        let idx = |gx: usize, gy: usize| (gy * grid + gx) as u32;
+        let mut edges = Vec::with_capacity(2 * grid * grid);
+        for gy in 0..grid {
+            for gx in 0..grid {
+                if gx + 1 < grid && rng.random_range(0.0..1.0) >= dropout {
+                    edges.push((idx(gx, gy), idx(gx + 1, gy)));
+                }
+                if gy + 1 < grid && rng.random_range(0.0..1.0) >= dropout {
+                    edges.push((idx(gx, gy), idx(gx, gy + 1)));
+                }
+            }
+        }
+        assert!(!edges.is_empty(), "dropout removed every street");
+        RoadNetwork { nodes, edges }
+    }
+
+    /// The default network used by the experiment harness (≈8k segments).
+    pub fn default_map(seed: u64) -> Self {
+        Self::synthetic(64, 0.1, seed)
+    }
+
+    /// Euclidean length of edge `e`.
+    pub fn edge_length(&self, e: usize) -> f64 {
+        let (a, b) = self.edges[e];
+        self.nodes[a as usize].dist(&self.nodes[b as usize])
+    }
+
+    /// Endpoints of edge `e` as points.
+    pub fn edge_points(&self, e: usize) -> (Point, Point) {
+        let (a, b) = self.edges[e];
+        (self.nodes[a as usize], self.nodes[b as usize])
+    }
+
+    /// A point at parameter `t ∈ [0,1]` along edge `e`.
+    pub fn point_on_edge(&self, e: usize, t: f64) -> Point {
+        let (a, b) = self.edge_points(e);
+        a.lerp(&b, t)
+    }
+
+    /// Total street length (for length-weighted sampling).
+    pub fn total_length(&self) -> f64 {
+        (0..self.edges.len()).map(|e| self.edge_length(e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_is_deterministic_per_seed() {
+        let a = RoadNetwork::synthetic(16, 0.1, 42);
+        let b = RoadNetwork::synthetic(16, 0.1, 42);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.nodes[7], b.nodes[7]);
+        let c = RoadNetwork::synthetic(16, 0.1, 43);
+        assert_ne!(a.nodes[7], c.nodes[7], "different seed, different jitter");
+    }
+
+    #[test]
+    fn nodes_stay_in_world() {
+        let net = RoadNetwork::synthetic(32, 0.2, 1);
+        for n in &net.nodes {
+            assert!(n.x >= 0.0 && n.x <= WORLD_SIZE);
+            assert!(n.y >= 0.0 && n.y <= WORLD_SIZE);
+        }
+    }
+
+    #[test]
+    fn dropout_removes_edges() {
+        let dense = RoadNetwork::synthetic(32, 0.0, 5);
+        let sparse = RoadNetwork::synthetic(32, 0.3, 5);
+        assert!(sparse.edges.len() < dense.edges.len());
+        // Full grid has 2*g*(g-1) edges.
+        assert_eq!(dense.edges.len(), 2 * 32 * 31);
+    }
+
+    #[test]
+    fn points_on_edges_interpolate() {
+        let net = RoadNetwork::synthetic(8, 0.0, 2);
+        let (a, b) = net.edge_points(0);
+        assert_eq!(net.point_on_edge(0, 0.0), a);
+        assert_eq!(net.point_on_edge(0, 1.0), b);
+        let mid = net.point_on_edge(0, 0.5);
+        assert!((a.dist(&mid) - b.dist(&mid)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_length_positive_and_additive() {
+        let net = RoadNetwork::synthetic(8, 0.0, 3);
+        let sum: f64 = (0..net.edges.len()).map(|e| net.edge_length(e)).sum();
+        assert!((net.total_length() - sum).abs() < 1e-9);
+        assert!(sum > 0.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Network-constrained point generation.
+//!
+//! Reproduces §5.1's protocol: "the points fall on edges of the road
+//! network, so that 80% of them are spread among 10 dense clusters, while
+//! the remaining 20% are uniformly distributed in the network".
+
+use cca_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::RoadNetwork;
+
+/// Spatial distribution of a generated point set (the U/C axes of
+/// Figures 13 and 18).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpatialDistribution {
+    /// Uniform along the network ("U").
+    Uniform,
+    /// 80 % in `clusters` dense clusters, 20 % uniform ("C").
+    Clustered,
+}
+
+impl SpatialDistribution {
+    /// One-letter label used in the paper's figure axes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpatialDistribution::Uniform => "U",
+            SpatialDistribution::Clustered => "C",
+        }
+    }
+}
+
+/// Number of dense clusters in the clustered distribution (§5.1: "10 dense
+/// clusters").
+pub const NUM_CLUSTERS: usize = 10;
+
+/// Fraction of points belonging to clusters (§5.1: 80 %).
+pub const CLUSTER_FRACTION: f64 = 0.8;
+
+/// Standard deviation of the cluster spread, in world units. Chosen so that
+/// a cluster covers a handful of city blocks on the default 64×64 network.
+pub const CLUSTER_SIGMA: f64 = 60.0;
+
+/// The dense districts of the map. The paper generates both `Q` and `P` on
+/// the same road map, so their dense regions coincide ("some parts of the
+/// city are denser than others", §5.1); centres are therefore derived from
+/// the *map* seed and shared by all point sets generated on it.
+pub fn cluster_centers(net: &RoadNetwork, map_seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(map_seed ^ 0xc105_7e25);
+    let sampler = EdgeSampler::new(net);
+    (0..NUM_CLUSTERS)
+        .map(|_| sampler.sample(net, &mut rng))
+        .collect()
+}
+
+/// Generates `n` points on the network following `dist`, using the map's
+/// shared cluster `centers` for the clustered distribution.
+pub fn generate_points(
+    net: &RoadNetwork,
+    centers: &[Point],
+    n: usize,
+    dist: SpatialDistribution,
+    seed: u64,
+) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = EdgeSampler::new(net);
+    match dist {
+        SpatialDistribution::Uniform => (0..n).map(|_| sampler.sample(net, &mut rng)).collect(),
+        SpatialDistribution::Clustered => {
+            assert!(!centers.is_empty(), "clustered generation needs centers");
+            let snap = SnapIndex::new(net);
+            let n_clustered = (n as f64 * CLUSTER_FRACTION).round() as usize;
+            let mut pts = Vec::with_capacity(n);
+            for _ in 0..n_clustered {
+                let c = centers[rng.random_range(0..centers.len())];
+                // Gaussian offset around the centre, snapped back onto the
+                // nearest street segment so points stay on the network.
+                let (dx, dy) = gaussian_pair(&mut rng);
+                let raw = Point::new(c.x + dx * CLUSTER_SIGMA, c.y + dy * CLUSTER_SIGMA);
+                pts.push(snap.snap(net, raw));
+            }
+            for _ in n_clustered..n {
+                pts.push(sampler.sample(net, &mut rng));
+            }
+            pts
+        }
+    }
+}
+
+/// Length-weighted edge sampler: a uniform point *on the network* falls on
+/// an edge with probability proportional to its length.
+struct EdgeSampler {
+    /// Cumulative edge lengths for binary search.
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl EdgeSampler {
+    fn new(net: &RoadNetwork) -> Self {
+        let mut cumulative = Vec::with_capacity(net.edges.len());
+        let mut acc = 0.0;
+        for e in 0..net.edges.len() {
+            acc += net.edge_length(e);
+            cumulative.push(acc);
+        }
+        EdgeSampler {
+            cumulative,
+            total: acc,
+        }
+    }
+
+    fn sample(&self, net: &RoadNetwork, rng: &mut StdRng) -> Point {
+        let r = rng.random_range(0.0..self.total);
+        let e = self.cumulative.partition_point(|&c| c < r);
+        let e = e.min(self.cumulative.len() - 1);
+        net.point_on_edge(e, rng.random_range(0.0..1.0))
+    }
+}
+
+/// Grid bucket index over edges for nearest-segment snapping.
+struct SnapIndex {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl SnapIndex {
+    fn new(net: &RoadNetwork) -> Self {
+        // Cell size ~ median edge length keeps buckets small.
+        let avg = net.total_length() / net.edges.len() as f64;
+        let cell = avg.max(1.0);
+        let cols = (cca_geo::WORLD_SIZE / cell).ceil() as usize + 1;
+        let rows = cols;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (e, _) in net.edges.iter().enumerate() {
+            let (a, b) = net.edge_points(e);
+            // Insert the edge into every cell its bounding box touches.
+            let x0 = ((a.x.min(b.x) / cell) as usize).min(cols - 1);
+            let x1 = ((a.x.max(b.x) / cell) as usize).min(cols - 1);
+            let y0 = ((a.y.min(b.y) / cell) as usize).min(rows - 1);
+            let y1 = ((a.y.max(b.y) / cell) as usize).min(rows - 1);
+            for gy in y0..=y1 {
+                for gx in x0..=x1 {
+                    buckets[gy * cols + gx].push(e as u32);
+                }
+            }
+        }
+        SnapIndex {
+            cell,
+            cols,
+            rows,
+            buckets,
+        }
+    }
+
+    /// Projects `p` onto the nearest street segment, searching outward ring
+    /// by ring until a hit is guaranteed nearest.
+    fn snap(&self, net: &RoadNetwork, p: Point) -> Point {
+        let gx = ((p.x / self.cell) as isize).clamp(0, self.cols as isize - 1);
+        let gy = ((p.y / self.cell) as isize).clamp(0, self.rows as isize - 1);
+        let mut best: Option<(f64, Point)> = None;
+        let max_ring = self.cols.max(self.rows) as isize;
+        for ring in 0..max_ring {
+            // Once we have a hit, finish scanning one extra ring: any closer
+            // segment must live within `best_dist / cell + 1` rings.
+            if let Some((d, _)) = best {
+                if (ring as f64 - 1.0) * self.cell > d {
+                    break;
+                }
+            }
+            for (cx, cy) in ring_cells(gx, gy, ring) {
+                if cx < 0 || cy < 0 || cx >= self.cols as isize || cy >= self.rows as isize {
+                    continue;
+                }
+                for &e in &self.buckets[cy as usize * self.cols + cx as usize] {
+                    let (a, b) = net.edge_points(e as usize);
+                    let proj = project_to_segment(p, a, b);
+                    let d = p.dist(&proj);
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, proj));
+                    }
+                }
+            }
+        }
+        best.map(|(_, pt)| pt).unwrap_or(p)
+    }
+}
+
+/// Cells at Chebyshev distance `ring` from `(gx, gy)`.
+fn ring_cells(gx: isize, gy: isize, ring: isize) -> Vec<(isize, isize)> {
+    if ring == 0 {
+        return vec![(gx, gy)];
+    }
+    let mut v = Vec::with_capacity((8 * ring) as usize);
+    for dx in -ring..=ring {
+        v.push((gx + dx, gy - ring));
+        v.push((gx + dx, gy + ring));
+    }
+    for dy in (-ring + 1)..ring {
+        v.push((gx - ring, gy + dy));
+        v.push((gx + ring, gy + dy));
+    }
+    v
+}
+
+/// Orthogonal projection of `p` onto segment `ab`, clamped to the segment.
+fn project_to_segment(p: Point, a: Point, b: Point) -> Point {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len2 = abx * abx + aby * aby;
+    if len2 == 0.0 {
+        return a;
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0);
+    a.lerp(&b, t)
+}
+
+/// One standard-normal pair via Box–Muller (keeps `rand` the only dependency).
+fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> RoadNetwork {
+        RoadNetwork::synthetic(32, 0.1, 7)
+    }
+
+    fn dist_to_network(net: &RoadNetwork, p: Point) -> f64 {
+        (0..net.edges.len())
+            .map(|e| {
+                let (a, b) = net.edge_points(e);
+                p.dist(&project_to_segment(p, a, b))
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn centers_for(net: &RoadNetwork) -> Vec<Point> {
+        cluster_centers(net, 7)
+    }
+
+    #[test]
+    fn uniform_points_lie_on_network() {
+        let net = net();
+        let pts = generate_points(&net, &[], 200, SpatialDistribution::Uniform, 11);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert!(
+                dist_to_network(&net, *p) < 1e-9,
+                "point {p} not on any street"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_points_lie_on_network() {
+        let net = net();
+        let pts = generate_points(&net, &centers_for(&net), 300, SpatialDistribution::Clustered, 12);
+        for p in &pts {
+            assert!(
+                dist_to_network(&net, *p) < 1e-6,
+                "snapped point {p} not on any street"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_is_denser_than_uniform() {
+        // Measure spatial skew via cell occupancy entropy on a coarse grid:
+        // clustered data concentrates mass in fewer cells.
+        let net = net();
+        let occupied = |pts: &[Point]| {
+            let mut cells = std::collections::HashSet::new();
+            for p in pts {
+                cells.insert(((p.x / 50.0) as i32, (p.y / 50.0) as i32));
+            }
+            cells.len()
+        };
+        let u = generate_points(&net, &[], 2000, SpatialDistribution::Uniform, 13);
+        let c = generate_points(&net, &centers_for(&net), 2000, SpatialDistribution::Clustered, 13);
+        assert!(
+            occupied(&c) < occupied(&u),
+            "clustered {} cells vs uniform {} cells",
+            occupied(&c),
+            occupied(&u)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let net = net();
+        let ctrs = centers_for(&net);
+        let a = generate_points(&net, &ctrs, 50, SpatialDistribution::Clustered, 99);
+        let b = generate_points(&net, &ctrs, 50, SpatialDistribution::Clustered, 99);
+        assert_eq!(a, b);
+        let c = generate_points(&net, &ctrs, 50, SpatialDistribution::Clustered, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn snap_returns_nearest_segment_point() {
+        let net = net();
+        let idx = SnapIndex::new(&net);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0));
+            let snapped = idx.snap(&net, p);
+            let d_snap = p.dist(&snapped);
+            let d_true = dist_to_network(&net, p);
+            assert!(
+                (d_snap - d_true).abs() < 1e-6,
+                "seed {seed}: snapped at {d_snap}, true nearest {d_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(project_to_segment(Point::new(-5.0, 3.0), a, b), a);
+        assert_eq!(project_to_segment(Point::new(15.0, 3.0), a, b), b);
+        assert_eq!(
+            project_to_segment(Point::new(5.0, 3.0), a, b),
+            Point::new(5.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_axes() {
+        assert_eq!(SpatialDistribution::Uniform.label(), "U");
+        assert_eq!(SpatialDistribution::Clustered.label(), "C");
+    }
+}

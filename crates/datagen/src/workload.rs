@@ -1,0 +1,185 @@
+//! Workload assembly: Table 2 parameters → concrete CCA instances.
+
+use cca_geo::Point;
+
+use crate::capacity::CapacitySpec;
+use crate::network::RoadNetwork;
+use crate::spatial::{cluster_centers, generate_points, SpatialDistribution};
+
+/// Parameters of one CCA experiment instance (Table 2 plus distribution
+/// axes).
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// |Q| — number of service providers.
+    pub num_providers: usize,
+    /// |P| — number of customers.
+    pub num_customers: usize,
+    /// Capacity policy (fixed k or a mixed range).
+    pub capacity: CapacitySpec,
+    /// Distribution of Q.
+    pub q_dist: SpatialDistribution,
+    /// Distribution of P.
+    pub p_dist: SpatialDistribution,
+    /// Master seed; sub-streams are derived deterministically.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's default setting (Table 2): |Q| = 1 K, |P| = 100 K, k = 80,
+    /// clustered vs clustered.
+    pub fn paper_default() -> Self {
+        WorkloadConfig {
+            num_providers: 1000,
+            num_customers: 100_000,
+            capacity: CapacitySpec::Fixed(80),
+            q_dist: SpatialDistribution::Clustered,
+            p_dist: SpatialDistribution::Clustered,
+            seed: 2008,
+        }
+    }
+
+    /// The paper's defaults shrunk by `factor`, preserving the governing
+    /// ratio `k·|Q| / |P|` (both point counts scale by `factor`, capacities
+    /// stay). Used by the harness to keep wall-clock reasonable; see
+    /// EXPERIMENTS.md.
+    pub fn scaled_default(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0);
+        let base = Self::paper_default();
+        WorkloadConfig {
+            num_providers: ((base.num_providers as f64 * factor).round() as usize).max(1),
+            num_customers: ((base.num_customers as f64 * factor).round() as usize).max(1),
+            ..base
+        }
+    }
+
+    /// Generates the instance: providers with capacities, plus customers.
+    ///
+    /// The network, Q, P and the capacity stream each derive their own seed
+    /// from the master seed so they are mutually independent.
+    pub fn generate(&self) -> Workload {
+        const NET_STREAM: u64 = 0x5eed_0001;
+        const Q_STREAM: u64 = 0x5eed_0002;
+        const P_STREAM: u64 = 0x5eed_0003;
+        const CAP_STREAM: u64 = 0x5eed_0004;
+        let net = RoadNetwork::default_map(self.seed ^ NET_STREAM);
+        // Dense districts belong to the map: Q and P share them, as on a
+        // real road map where providers cluster where customers do.
+        let centers = cluster_centers(&net, self.seed ^ NET_STREAM);
+        let q_points = generate_points(&net, &centers, self.num_providers, self.q_dist, self.seed ^ Q_STREAM);
+        let p_points = generate_points(&net, &centers, self.num_customers, self.p_dist, self.seed ^ P_STREAM);
+        let caps = self
+            .capacity
+            .generate(self.num_providers, self.seed ^ CAP_STREAM);
+        Workload {
+            providers: q_points.into_iter().zip(caps).collect(),
+            customers: p_points,
+        }
+    }
+
+    /// Total provider capacity `Σ q.k` implied by the config (exact for
+    /// `Fixed`, expected for `Mixed`).
+    pub fn expected_total_capacity(&self) -> f64 {
+        self.capacity.mean() * self.num_providers as f64
+    }
+}
+
+/// A fully generated CCA instance.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Service providers: position + capacity.
+    pub providers: Vec<(Point, u32)>,
+    /// Customers: positions (ids are their indices).
+    pub customers: Vec<Point>,
+}
+
+impl Workload {
+    /// `γ = min(|P|, Σ q.k)`.
+    pub fn gamma(&self) -> u64 {
+        let cap: u64 = self.providers.iter().map(|&(_, k)| u64::from(k)).sum();
+        cap.min(self.customers.len() as u64)
+    }
+
+    /// Customer list as `(point, id)` pairs for R-tree bulk loading.
+    pub fn customer_items(&self) -> Vec<(Point, u64)> {
+        self.customers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            num_providers: 20,
+            num_customers: 500,
+            capacity: CapacitySpec::Fixed(10),
+            q_dist: SpatialDistribution::Clustered,
+            p_dist: SpatialDistribution::Clustered,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn generate_produces_requested_sizes() {
+        let w = small_config().generate();
+        assert_eq!(w.providers.len(), 20);
+        assert_eq!(w.customers.len(), 500);
+        assert!(w.providers.iter().all(|&(_, k)| k == 10));
+    }
+
+    #[test]
+    fn gamma_takes_the_minimum_side() {
+        let w = small_config().generate();
+        assert_eq!(w.gamma(), 200, "Σk = 200 < |P| = 500");
+        let mut cfg = small_config();
+        cfg.num_customers = 100;
+        let w = cfg.generate();
+        assert_eq!(w.gamma(), 100, "|P| = 100 < Σk = 200");
+    }
+
+    #[test]
+    fn q_and_p_use_independent_streams() {
+        let w = small_config().generate();
+        // Provider and customer positions must differ (different sub-seeds).
+        assert_ne!(w.providers[0].0, w.customers[0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small_config().generate();
+        let b = small_config().generate();
+        assert_eq!(a.providers, b.providers);
+        assert_eq!(a.customers, b.customers);
+        let mut cfg = small_config();
+        cfg.seed = 2;
+        let c = cfg.generate();
+        assert_ne!(a.customers, c.customers);
+    }
+
+    #[test]
+    fn scaled_default_preserves_regime() {
+        let full = WorkloadConfig::paper_default();
+        let fifth = WorkloadConfig::scaled_default(0.2);
+        assert_eq!(fifth.num_providers, 200);
+        assert_eq!(fifth.num_customers, 20_000);
+        let ratio_full =
+            full.expected_total_capacity() / full.num_customers as f64;
+        let ratio_fifth =
+            fifth.expected_total_capacity() / fifth.num_customers as f64;
+        assert!((ratio_full - ratio_fifth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn customer_items_enumerate_ids() {
+        let w = small_config().generate();
+        let items = w.customer_items();
+        assert_eq!(items.len(), 500);
+        assert_eq!(items[17].1, 17);
+        assert_eq!(items[17].0, w.customers[17]);
+    }
+}

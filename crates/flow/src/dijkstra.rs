@@ -1,0 +1,468 @@
+//! Dijkstra over reduced costs, with resumable state and the Path Update
+//! Algorithm (PUA, Algorithm 5).
+//!
+//! SSPA computes each augmenting path with Dijkstra on reduced costs (§2.2).
+//! The incremental algorithms additionally need to *resume* a computation
+//! after inserting a new edge instead of restarting (§3.4.1):
+//! [`DijkstraState::pua_insert_edge`] runs the bounded relaxation wave of
+//! Algorithm 5 and [`DijkstraState::drain_below_sink`] re-settles any node
+//! whose corrected distance dropped below the sink's, so the settled set
+//! always equals `{v : α(v) < α(t)}` plus the sink — the precondition of the
+//! potential update.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cca_geo::OrdF64;
+
+use crate::graph::{ArcId, FlowGraph, NodeId, NO_ARC};
+
+/// Tolerance for floating-point noise in reduced costs. Distances are O(10³)
+/// (the normalised world), so 1e-7 absolute slack is ~12 decimal digits of
+/// headroom below the signal.
+pub const EPS: f64 = 1e-7;
+
+/// Resumable single-source shortest-path state over a [`FlowGraph`].
+///
+/// Node bookkeeping uses *epochs* so `init` is O(1) amortised rather than
+/// O(|V|): an entry is valid only if its epoch matches the current run's.
+pub struct DijkstraState {
+    alpha: Vec<f64>,
+    parent: Vec<ArcId>,
+    settled: Vec<bool>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    /// Frontier heap (`Hd` in the paper); lazy decrease-key.
+    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    /// Re-relaxation wave over improved *settled* nodes (`Hf`, Algorithm 5).
+    wave: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    /// Settled nodes of the current run, in settle order. α values must be
+    /// re-read at use time — PUA may improve them after settling.
+    settled_list: Vec<NodeId>,
+    source: NodeId,
+}
+
+impl DijkstraState {
+    pub fn new() -> Self {
+        DijkstraState {
+            alpha: Vec::new(),
+            parent: Vec::new(),
+            settled: Vec::new(),
+            epoch_of: Vec::new(),
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            wave: BinaryHeap::new(),
+            settled_list: Vec::new(),
+            source: 0,
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.alpha.len() < n {
+            self.alpha.resize(n, f64::INFINITY);
+            self.parent.resize(n, NO_ARC);
+            self.settled.resize(n, false);
+            self.epoch_of.resize(n, 0);
+        }
+    }
+
+    #[inline]
+    fn fresh(&self, v: NodeId) -> bool {
+        self.epoch_of[v as usize] == self.epoch
+    }
+
+    fn touch(&mut self, v: NodeId) {
+        let i = v as usize;
+        if self.epoch_of[i] != self.epoch {
+            self.epoch_of[i] = self.epoch;
+            self.alpha[i] = f64::INFINITY;
+            self.parent[i] = NO_ARC;
+            self.settled[i] = false;
+        }
+    }
+
+    /// Starts a new computation from `source`.
+    pub fn init(&mut self, g: &FlowGraph, source: NodeId) {
+        self.ensure(g.num_nodes());
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: hard reset keeps epoch logic sound.
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.wave.clear();
+        self.settled_list.clear();
+        self.source = source;
+        self.touch(source);
+        self.alpha[source as usize] = 0.0;
+        self.heap.push(Reverse((OrdF64::new(0.0), source)));
+    }
+
+    /// α(v), or `+∞` if unreached in this run.
+    #[inline]
+    pub fn alpha(&self, v: NodeId) -> f64 {
+        if (v as usize) < self.alpha.len() && self.fresh(v) {
+            self.alpha[v as usize]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// True if `v` has been settled (de-heaped) in this run.
+    #[inline]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        (v as usize) < self.settled.len() && self.fresh(v) && self.settled[v as usize]
+    }
+
+    /// The arc through which `v` was reached, or `NO_ARC`.
+    #[inline]
+    pub fn parent_arc(&self, v: NodeId) -> ArcId {
+        if (v as usize) < self.parent.len() && self.fresh(v) {
+            self.parent[v as usize]
+        } else {
+            NO_ARC
+        }
+    }
+
+    /// Settled nodes of the current run (the "visited nodes" of Algorithm 1
+    /// lines 8–9). Read current α via [`DijkstraState::alpha`].
+    pub fn settled_nodes(&self) -> &[NodeId] {
+        &self.settled_list
+    }
+
+    /// Relaxes one arc; routes improvements to the wave (settled heads) or
+    /// the frontier heap (unsettled heads). Returns true on improvement.
+    fn relax_arc(&mut self, g: &FlowGraph, a: ArcId) -> bool {
+        if g.residual_cap(a) == 0 {
+            return false;
+        }
+        let u = g.arc_from(a);
+        debug_assert!(self.is_settled(u), "relaxing from unsettled node");
+        let rc = g.reduced_cost(a);
+        debug_assert!(
+            rc > -EPS,
+            "negative reduced cost {rc} on arc {a} ({} -> {})",
+            g.arc_from(a),
+            g.arc_to(a)
+        );
+        let v = g.arc_to(a);
+        self.touch(v);
+        let cand = self.alpha[u as usize] + rc.max(0.0);
+        if cand + EPS < self.alpha[v as usize] {
+            self.alpha[v as usize] = cand;
+            self.parent[v as usize] = a;
+            let entry = Reverse((OrdF64::new(cand), v));
+            if self.settled[v as usize] {
+                self.wave.push(entry);
+            } else {
+                self.heap.push(entry);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Relaxes all residual out-arcs of settled node `u`.
+    fn relax_out(&mut self, g: &FlowGraph, u: NodeId) {
+        // `arcs_from` is cheap to re-index; copying the slice would allocate.
+        let n = g.arcs_from(u).len();
+        for i in 0..n {
+            let a = g.arcs_from(u)[i];
+            self.relax_arc(g, a);
+        }
+    }
+
+    /// Processes the re-relaxation wave (`Hf`) until empty: every improved
+    /// settled node gets its out-arcs re-relaxed, transitively.
+    fn propagate(&mut self, g: &FlowGraph) {
+        while let Some(Reverse((key, u))) = self.wave.pop() {
+            if key.get() > self.alpha[u as usize] + EPS {
+                continue; // stale wave entry
+            }
+            self.relax_out(g, u);
+        }
+    }
+
+    /// Runs until `target` is settled (returns immediately if it already
+    /// is). Returns `α(target)`, or `None` if the target is unreachable in
+    /// the current residual graph.
+    pub fn run_until(&mut self, g: &FlowGraph, target: NodeId) -> Option<f64> {
+        self.ensure(g.num_nodes());
+        if self.is_settled(target) {
+            return Some(self.alpha(target));
+        }
+        while let Some(Reverse((key, u))) = self.heap.pop() {
+            // Heap entries are always fresh (pushed after `touch`), so the
+            // per-epoch arrays are directly valid here.
+            let ui = u as usize;
+            if self.settled[ui] || key.get() > self.alpha[ui] + EPS {
+                continue; // settled already, or stale key
+            }
+            self.settled[ui] = true;
+            self.settled_list.push(u);
+            if u == target {
+                return Some(self.alpha[ui]);
+            }
+            self.relax_out(g, u);
+            self.propagate(g);
+        }
+        None
+    }
+
+    /// PUA (Algorithm 5): after edge `e` was added to the graph, propagate
+    /// any distance improvements through the settled region.
+    ///
+    /// If the forward arc's tail is not settled the new edge will be relaxed
+    /// normally when (if) the tail settles, so there is nothing to do.
+    pub fn pua_insert_edge(&mut self, g: &FlowGraph, e: u32) {
+        self.ensure(g.num_nodes());
+        let fwd: ArcId = 2 * e;
+        let q = g.arc_from(fwd);
+        if !self.is_settled(q) {
+            return;
+        }
+        self.relax_arc(g, fwd);
+        self.propagate(g);
+    }
+
+    /// Settles every node whose distance is strictly below the sink's
+    /// current α. Called after PUA so the settled set again equals
+    /// `{v : α(v) < α(t)} ∪ {t, …}`, which the potential update relies on.
+    ///
+    /// # Panics
+    /// Debug-asserts that the sink is settled.
+    pub fn drain_below_sink(&mut self, g: &FlowGraph, t: NodeId) {
+        debug_assert!(self.is_settled(t), "drain requires a settled sink");
+        self.propagate(g);
+        loop {
+            // The bound can shrink while draining (a drained node may relax
+            // an arc into t through the wave), so re-read it every step.
+            let bound = self.alpha[t as usize];
+            let Some(&Reverse((key, u))) = self.heap.peek() else {
+                return;
+            };
+            if key.get() + EPS >= bound {
+                return;
+            }
+            self.heap.pop();
+            let ui = u as usize;
+            if self.settled[ui] || key.get() > self.alpha[ui] + EPS {
+                continue;
+            }
+            self.settled[ui] = true;
+            self.settled_list.push(u);
+            self.relax_out(g, u);
+            self.propagate(g);
+        }
+    }
+
+    /// Walks parent arcs from `t` back to the source, returning the arcs in
+    /// path order (source first).
+    pub fn extract_path(&self, g: &FlowGraph, t: NodeId) -> Vec<ArcId> {
+        let mut arcs = Vec::new();
+        let mut v = t;
+        while v != self.source {
+            let a = self.parent_arc(v);
+            assert_ne!(a, NO_ARC, "no path recorded to node {v}");
+            arcs.push(a);
+            v = g.arc_from(a);
+        }
+        arcs.reverse();
+        arcs
+    }
+
+    /// Augments one unit of flow along the recorded shortest path to `t`
+    /// ("reversing" the path's edges in the paper's terms, Algorithm 1
+    /// lines 4–7).
+    pub fn augment_unit(&self, g: &mut FlowGraph, t: NodeId) {
+        let mut v = t;
+        while v != self.source {
+            let a = self.parent_arc(v);
+            assert_ne!(a, NO_ARC, "no path recorded to node {v}");
+            g.push_flow(a, 1);
+            v = g.arc_from(a);
+        }
+    }
+}
+
+impl Default for DijkstraState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain 0 → 1 → 2 → 3 with unit capacities plus a direct 0 → 3 edge.
+    fn diamond() -> FlowGraph {
+        let mut g = FlowGraph::with_nodes(4);
+        g.add_edge(0, 1, 1, 1.0); // e0
+        g.add_edge(1, 2, 1, 1.0); // e1
+        g.add_edge(2, 3, 1, 1.0); // e2
+        g.add_edge(0, 3, 1, 10.0); // e3
+        g
+    }
+
+    #[test]
+    fn shortest_path_simple_chain() {
+        let g = diamond();
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 3), Some(3.0));
+        let path = d.extract_path(&g, 3);
+        assert_eq!(path, vec![0, 2, 4]); // forward arcs of e0, e1, e2
+    }
+
+    #[test]
+    fn run_until_is_idempotent_once_settled() {
+        let g = diamond();
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 3), Some(3.0));
+        assert_eq!(d.run_until(&g, 3), Some(3.0));
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.add_edge(0, 1, 1, 1.0);
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 2), None);
+    }
+
+    #[test]
+    fn saturated_edges_are_skipped() {
+        let mut g = diamond();
+        g.push_flow(0, 1); // saturate 0 -> 1
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 3), Some(10.0), "must use the direct edge");
+    }
+
+    #[test]
+    fn augment_reverses_path() {
+        let mut g = diamond();
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        d.run_until(&g, 3).unwrap();
+        d.augment_unit(&mut g, 3);
+        assert_eq!(g.edge_flow(0), 1);
+        assert_eq!(g.edge_flow(1), 1);
+        assert_eq!(g.edge_flow(2), 1);
+        assert_eq!(g.edge_flow(3), 0);
+        // Residual arcs now allow the reverse walk.
+        assert_eq!(g.residual_cap(1), 1); // reverse of e0
+    }
+
+    #[test]
+    fn epochs_isolate_runs() {
+        let g = diamond();
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        d.run_until(&g, 3).unwrap();
+        assert!(d.is_settled(1));
+        d.init(&g, 2);
+        assert!(!d.is_settled(1), "previous run's state must be invisible");
+        assert_eq!(d.alpha(0), f64::INFINITY);
+        assert_eq!(d.run_until(&g, 3), Some(1.0));
+    }
+
+    #[test]
+    fn settled_list_matches_flags_and_order() {
+        let g = diamond();
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        d.run_until(&g, 3).unwrap();
+        for &v in d.settled_nodes() {
+            assert!(d.is_settled(v));
+        }
+        let dists: Vec<f64> = d.settled_nodes().iter().map(|&v| d.alpha(v)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pua_improves_distances_after_edge_insert() {
+        let mut g = FlowGraph::with_nodes(4);
+        g.add_edge(0, 1, 1, 5.0);
+        g.add_edge(1, 2, 1, 5.0);
+        g.add_edge(2, 3, 1, 0.0);
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 3), Some(10.0));
+        // New edge 1 -> 3 with cost 1: path 0->1->3 costs 6.
+        let e = g.add_edge(1, 3, 1, 1.0);
+        d.pua_insert_edge(&g, e);
+        assert_eq!(d.alpha(3), 6.0, "PUA must propagate the improvement");
+        d.drain_below_sink(&g, 3);
+        let path = d.extract_path(&g, 3);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn pua_improvement_propagates_through_settled_chain() {
+        // After 0→1→2→3 settles (cost 3 each hop), a cheap edge 0→2 must
+        // transitively improve node 3 as well.
+        let mut g = FlowGraph::with_nodes(5);
+        g.add_edge(0, 1, 1, 3.0);
+        g.add_edge(1, 2, 1, 3.0);
+        g.add_edge(2, 3, 1, 3.0);
+        g.add_edge(3, 4, 1, 0.0);
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 4), Some(9.0));
+        let e = g.add_edge(0, 2, 1, 1.0);
+        d.pua_insert_edge(&g, e);
+        assert_eq!(d.alpha(2), 1.0);
+        assert_eq!(d.alpha(3), 4.0, "wave must reach node 3");
+        assert_eq!(d.alpha(4), 4.0, "and the sink");
+    }
+
+    #[test]
+    fn pua_ignores_edges_from_unsettled_tails() {
+        let mut g = FlowGraph::with_nodes(4);
+        g.add_edge(0, 1, 1, 1.0);
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        d.run_until(&g, 1).unwrap();
+        // Node 2 was never reached; an edge out of it must be a no-op.
+        let e = g.add_edge(2, 3, 1, 1.0);
+        d.pua_insert_edge(&g, e);
+        assert_eq!(d.alpha(3), f64::INFINITY);
+    }
+
+    #[test]
+    fn drain_settles_nodes_below_new_sink_distance() {
+        // Frontier node 3 (α=9) must be settled once the sink improves past
+        // it... here the sink stays at 11 and 3 sits below it.
+        let mut g = FlowGraph::with_nodes(5);
+        g.add_edge(0, 1, 1, 1.0);
+        g.add_edge(0, 3, 1, 9.0);
+        g.add_edge(1, 4, 1, 10.0);
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 4), Some(11.0));
+        assert!(d.is_settled(3), "3 settles before the sink at α=9");
+        // Insert an edge that improves nothing; drain is a no-op.
+        let e = g.add_edge(1, 4, 1, 50.0);
+        d.pua_insert_edge(&g, e);
+        d.drain_below_sink(&g, 4);
+        assert_eq!(d.alpha(4), 11.0);
+    }
+
+    #[test]
+    fn resume_after_unreachable_picks_up_new_edges() {
+        let mut g = FlowGraph::with_nodes(4);
+        g.add_edge(0, 1, 1, 2.0);
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 3), None, "sink not yet connected");
+        let e = g.add_edge(1, 3, 1, 4.0);
+        d.pua_insert_edge(&g, e);
+        assert_eq!(d.run_until(&g, 3), Some(6.0));
+    }
+}

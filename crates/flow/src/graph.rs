@@ -1,0 +1,346 @@
+//! Residual flow graph with paired arcs and node potentials.
+//!
+//! This is the graph substrate of the paper's §2.1–2.2: nodes are
+//! `{s, t} ∪ Q ∪ P`, each logical edge is stored as a forward/backward arc
+//! pair, and every node `v` carries a potential `v.τ`. The *reduced cost* of
+//! an arc is `w(u,v) = cost(u,v) − τ(u) + τ(v)` exactly as defined in §2.2;
+//! the paper's "edge reversal" during augmentation is flow pushed on the arc
+//! pair.
+//!
+//! The graph is deliberately *incremental*: the CCA algorithms start from an
+//! (almost) empty edge set `Esub` and call [`FlowGraph::add_edge`] as
+//! Theorem 1 demands more edges.
+
+/// Node identifier (dense).
+pub type NodeId = u32;
+
+/// Arc identifier. Arcs come in pairs: arc `2e` is the forward arc of edge
+/// `e`, arc `2e+1` its reverse.
+pub type ArcId = u32;
+
+/// Sentinel for "no arc" (used in parent pointers).
+pub const NO_ARC: ArcId = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct ArcData {
+    from: NodeId,
+    to: NodeId,
+    /// Base cost (`dist` for q→p edges, 0 for source/sink edges, negated on
+    /// the reverse arc).
+    cost: f64,
+}
+
+/// The residual graph.
+pub struct FlowGraph {
+    arcs: Vec<ArcData>,
+    /// Capacity per *edge* (forward direction).
+    cap: Vec<u32>,
+    /// Flow per edge, `0 ≤ flow ≤ cap`.
+    flow: Vec<u32>,
+    /// Outgoing arc ids per node (both forward and reverse arcs).
+    adj: Vec<Vec<ArcId>>,
+    /// Node potentials `τ` (§2.2), all zero initially.
+    tau: Vec<f64>,
+}
+
+impl FlowGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        FlowGraph {
+            arcs: Vec::new(),
+            cap: Vec::new(),
+            flow: Vec::new(),
+            adj: Vec::new(),
+            tau: Vec::new(),
+        }
+    }
+
+    /// Creates a graph with `nodes` pre-allocated nodes.
+    pub fn with_nodes(nodes: usize) -> Self {
+        let mut g = FlowGraph::new();
+        for _ in 0..nodes {
+            g.add_node();
+        }
+        g
+    }
+
+    /// Adds a node with potential 0; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::try_from(self.adj.len()).expect("node id overflow");
+        self.adj.push(Vec::new());
+        self.tau.push(0.0);
+        id
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of logical edges (arc pairs).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.cap.len()
+    }
+
+    /// Adds a logical edge `u → v` with the given capacity and base cost;
+    /// returns its edge id. The reverse residual arc is created
+    /// automatically with cost `−cost` and residual capacity equal to the
+    /// edge's flow.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, cap: u32, cost: f64) -> u32 {
+        debug_assert!(cost.is_finite());
+        debug_assert!((u as usize) < self.num_nodes() && (v as usize) < self.num_nodes());
+        let e = u32::try_from(self.cap.len()).expect("edge id overflow");
+        let fwd = ArcData { from: u, to: v, cost };
+        let rev = ArcData {
+            from: v,
+            to: u,
+            cost: -cost,
+        };
+        self.arcs.push(fwd);
+        self.arcs.push(rev);
+        self.cap.push(cap);
+        self.flow.push(0);
+        self.adj[u as usize].push(2 * e);
+        self.adj[v as usize].push(2 * e + 1);
+        e
+    }
+
+    /// Outgoing arcs of `u` (both directions; check [`FlowGraph::residual_cap`]).
+    #[inline]
+    pub fn arcs_from(&self, u: NodeId) -> &[ArcId] {
+        &self.adj[u as usize]
+    }
+
+    #[inline]
+    pub fn arc_from(&self, a: ArcId) -> NodeId {
+        self.arcs[a as usize].from
+    }
+
+    #[inline]
+    pub fn arc_to(&self, a: ArcId) -> NodeId {
+        self.arcs[a as usize].to
+    }
+
+    /// Base (non-reduced) cost of an arc.
+    #[inline]
+    pub fn arc_cost(&self, a: ArcId) -> f64 {
+        self.arcs[a as usize].cost
+    }
+
+    /// Edge id an arc belongs to.
+    #[inline]
+    pub fn arc_edge(&self, a: ArcId) -> u32 {
+        a / 2
+    }
+
+    /// True for forward arcs.
+    #[inline]
+    pub fn is_forward(&self, a: ArcId) -> bool {
+        a % 2 == 0
+    }
+
+    /// Residual capacity of an arc.
+    #[inline]
+    pub fn residual_cap(&self, a: ArcId) -> u32 {
+        let e = (a / 2) as usize;
+        if a % 2 == 0 {
+            self.cap[e] - self.flow[e]
+        } else {
+            self.flow[e]
+        }
+    }
+
+    /// Reduced cost `cost(u,v) − τ(u) + τ(v)` (§2.2).
+    #[inline]
+    pub fn reduced_cost(&self, a: ArcId) -> f64 {
+        let arc = &self.arcs[a as usize];
+        arc.cost - self.tau[arc.from as usize] + self.tau[arc.to as usize]
+    }
+
+    /// Pushes `amount` units of flow along arc `a` (reverse arcs cancel
+    /// forward flow).
+    ///
+    /// # Panics
+    /// Debug-asserts residual capacity.
+    pub fn push_flow(&mut self, a: ArcId, amount: u32) {
+        debug_assert!(self.residual_cap(a) >= amount, "over-push on arc {a}");
+        let e = (a / 2) as usize;
+        if a % 2 == 0 {
+            self.flow[e] += amount;
+        } else {
+            self.flow[e] -= amount;
+        }
+    }
+
+    /// Current flow on a logical edge.
+    #[inline]
+    pub fn edge_flow(&self, e: u32) -> u32 {
+        self.flow[e as usize]
+    }
+
+    /// Capacity of a logical edge.
+    #[inline]
+    pub fn edge_cap(&self, e: u32) -> u32 {
+        self.cap[e as usize]
+    }
+
+    /// Endpoints `(u, v)` of a logical edge.
+    #[inline]
+    pub fn edge_endpoints(&self, e: u32) -> (NodeId, NodeId) {
+        let fwd = &self.arcs[(2 * e) as usize];
+        (fwd.from, fwd.to)
+    }
+
+    /// Potential of a node.
+    #[inline]
+    pub fn tau(&self, v: NodeId) -> f64 {
+        self.tau[v as usize]
+    }
+
+    /// Sets a node potential directly (used by IDA's Theorem-2 fast-phase
+    /// exit, which installs a closed-form feasible potential).
+    #[inline]
+    pub fn set_tau(&mut self, v: NodeId, value: f64) {
+        self.tau[v as usize] = value;
+    }
+
+    /// Applies the SSPA potential update after a valid shortest path: every
+    /// settled node `v` receives `τ(v) += max(0, α(t) − α(v))` (Algorithm 1
+    /// lines 8–9; the `max` caps updates for nodes settled beyond the sink,
+    /// which keeps reduced costs non-negative after PUA-style reruns).
+    ///
+    /// α values are read through the closure at call time because PUA may
+    /// have improved them after the node settled.
+    pub fn update_potentials(
+        &mut self,
+        settled: &[NodeId],
+        alpha: impl Fn(NodeId) -> f64,
+        alpha_t: f64,
+    ) {
+        for &v in settled {
+            let delta = alpha_t - alpha(v);
+            if delta > 0.0 {
+                self.tau[v as usize] += delta;
+            }
+        }
+    }
+
+    /// Checks that every residual arc has non-negative reduced cost — the
+    /// invariant Dijkstra's correctness rests on (§2.2). Returns the worst
+    /// violation if any.
+    pub fn check_reduced_costs(&self, eps: f64) -> Result<(), (ArcId, f64)> {
+        let mut worst: Option<(ArcId, f64)> = None;
+        for a in 0..self.arcs.len() as ArcId {
+            if self.residual_cap(a) > 0 {
+                let rc = self.reduced_cost(a);
+                if rc < -eps && worst.is_none_or(|(_, w)| rc < w) {
+                    worst = Some((a, rc));
+                }
+            }
+        }
+        match worst {
+            None => Ok(()),
+            Some(v) => Err(v),
+        }
+    }
+}
+
+impl Default for FlowGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_create_arc_pairs() {
+        let mut g = FlowGraph::with_nodes(3);
+        let e = g.add_edge(0, 1, 5, 2.5);
+        assert_eq!(e, 0);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.arc_from(0), 0);
+        assert_eq!(g.arc_to(0), 1);
+        assert_eq!(g.arc_from(1), 1);
+        assert_eq!(g.arc_to(1), 0);
+        assert_eq!(g.arc_cost(0), 2.5);
+        assert_eq!(g.arc_cost(1), -2.5);
+    }
+
+    #[test]
+    fn residual_caps_track_flow() {
+        let mut g = FlowGraph::with_nodes(2);
+        let e = g.add_edge(0, 1, 3, 1.0);
+        let fwd = 2 * e;
+        let rev = 2 * e + 1;
+        assert_eq!(g.residual_cap(fwd), 3);
+        assert_eq!(g.residual_cap(rev), 0);
+        g.push_flow(fwd, 2);
+        assert_eq!(g.residual_cap(fwd), 1);
+        assert_eq!(g.residual_cap(rev), 2);
+        g.push_flow(rev, 1); // cancel one unit
+        assert_eq!(g.edge_flow(e), 1);
+        assert_eq!(g.residual_cap(fwd), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "over-push")]
+    fn over_push_panics_in_debug() {
+        let mut g = FlowGraph::with_nodes(2);
+        let e = g.add_edge(0, 1, 1, 1.0);
+        g.push_flow(2 * e, 2);
+    }
+
+    #[test]
+    fn reduced_cost_uses_potentials() {
+        let mut g = FlowGraph::with_nodes(2);
+        let e = g.add_edge(0, 1, 1, 10.0);
+        assert_eq!(g.reduced_cost(2 * e), 10.0);
+        g.set_tau(0, 3.0);
+        g.set_tau(1, 1.0);
+        // w = 10 - tau(0) + tau(1) = 8
+        assert_eq!(g.reduced_cost(2 * e), 8.0);
+        // reverse arc: -10 - 1 + 3 = -8
+        assert_eq!(g.reduced_cost(2 * e + 1), -8.0);
+    }
+
+    #[test]
+    fn update_potentials_caps_at_zero() {
+        let mut g = FlowGraph::with_nodes(3);
+        let alphas = [0.0, 2.0, 7.0];
+        g.update_potentials(&[0, 1, 2], |v| alphas[v as usize], 5.0);
+        assert_eq!(g.tau(0), 5.0);
+        assert_eq!(g.tau(1), 3.0);
+        assert_eq!(g.tau(2), 0.0, "nodes settled beyond α(t) get no update");
+    }
+
+    #[test]
+    fn check_reduced_costs_reports_violations() {
+        let mut g = FlowGraph::with_nodes(2);
+        let e = g.add_edge(0, 1, 1, 1.0);
+        assert!(g.check_reduced_costs(1e-9).is_ok());
+        g.set_tau(0, 5.0); // reduced cost of forward arc becomes -4
+        let (arc, rc) = g.check_reduced_costs(1e-9).unwrap_err();
+        assert_eq!(arc, 2 * e);
+        assert!((rc + 4.0).abs() < 1e-12);
+        // Saturate the edge: the forward arc leaves the residual graph, the
+        // reverse arc (reduced cost +4) enters, and the check passes again.
+        g.push_flow(2 * e, 1);
+        assert!(g.check_reduced_costs(1e-9).is_ok());
+    }
+
+    #[test]
+    fn adjacency_includes_reverse_arcs() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.add_edge(0, 1, 1, 1.0);
+        g.add_edge(2, 1, 1, 1.0);
+        assert_eq!(g.arcs_from(0), &[0]);
+        assert_eq!(g.arcs_from(1), &[1, 3]); // two reverse arcs
+        assert_eq!(g.arcs_from(2), &[2]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Min-cost-flow substrate for the CCA reproduction.
+//!
+//! CCA reduces to minimum cost flow on a bipartite graph (§2.1). This crate
+//! provides the machinery both the paper's baseline and its incremental
+//! algorithms are built on:
+//!
+//! * [`graph::FlowGraph`] — incremental residual graph with paired arcs and
+//!   node potentials (`τ`, §2.2),
+//! * [`dijkstra::DijkstraState`] — Dijkstra over reduced costs, resumable
+//!   with the Path Update Algorithm (PUA, Algorithm 5 / §3.4.1),
+//! * [`sspa`] — the full-graph Successive Shortest Path baseline
+//!   (Algorithm 1) that Figure 8 benchmarks against,
+//! * [`hungarian`] — the classical dense assignment solver [8, 11], used as
+//!   an independent correctness oracle,
+//! * [`validate`] — matching validators and brute-force optima for tests.
+
+pub mod dijkstra;
+pub mod graph;
+pub mod hungarian;
+pub mod sspa;
+pub mod validate;
+
+pub use dijkstra::{DijkstraState, EPS};
+pub use graph::{ArcId, FlowGraph, NodeId, NO_ARC};
+pub use sspa::{
+    required_flow, solve_complete_bipartite, unit_customers, Assignment, FlowCustomer,
+    FlowProvider, SspaStats,
+};

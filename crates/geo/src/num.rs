@@ -1,0 +1,78 @@
+//! Total-ordering wrapper for finite `f64` keys.
+
+use std::cmp::Ordering;
+
+/// An `f64` with total ordering, for use as a priority-queue key.
+///
+/// Distances and costs in this workspace are always finite and non-NaN
+/// (Euclidean distances of finite points, sums thereof). Constructing an
+/// `OrdF64` from NaN is a bug; we fail fast in debug builds and order NaN
+/// last in release builds rather than panicking in a hot loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "NaN used as ordering key");
+        OrdF64(v)
+    }
+
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64::new(1.0) < OrdF64::new(2.0));
+        assert!(OrdF64::new(-1.0) < OrdF64::new(0.0));
+        assert_eq!(OrdF64::new(3.5), OrdF64::new(3.5));
+    }
+
+    #[test]
+    fn works_as_min_heap_key() {
+        let mut heap = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            heap.push(std::cmp::Reverse(OrdF64::new(v)));
+        }
+        assert_eq!(heap.pop().unwrap().0.get(), 1.0);
+        assert_eq!(heap.pop().unwrap().0.get(), 2.0);
+        assert_eq!(heap.pop().unwrap().0.get(), 3.0);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero_ordering() {
+        // total_cmp puts -0.0 before 0.0 but they are distinct keys; we only
+        // require a consistent total order.
+        assert!(OrdF64::new(-0.0) <= OrdF64::new(0.0));
+    }
+}

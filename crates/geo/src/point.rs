@@ -1,0 +1,170 @@
+//! Two-dimensional points and Euclidean distance.
+
+use std::fmt;
+
+/// A point in the plane.
+///
+/// All CCA distances (`dist(q, p)` in the paper, Equation 1) are Euclidean
+/// distances between `Point`s. Coordinates are `f64` because the paper
+/// explicitly contrasts CCA's real-valued edge costs with the integer costs
+/// required by cost-scaling solvers (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Point::new(0.0, 0.0)
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Useful in hot loops where only the *ordering* of distances matters;
+    /// `sqrt` is monotone so comparisons on squared distances are safe.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other` (the paper's `dist(q, p)`).
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Component-wise midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    ///
+    /// Used by the data generator to place customers *on* road-network edges.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// True if both coordinates are finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dist_of_identical_points_is_zero() {
+        let p = Point::new(3.5, -2.0);
+        assert_eq!(p.dist(&p), 0.0);
+    }
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist2(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric_on_example() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-4.0, 7.5);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 4.0);
+        assert_eq!(a.midpoint(&b), Point::new(5.0, 2.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(2.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn non_finite_points_detected() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -1000.0..1000.0f64
+    }
+
+    fn point() -> impl Strategy<Value = Point> {
+        (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dist_nonnegative(a in point(), b in point()) {
+            prop_assert!(a.dist(&b) >= 0.0);
+        }
+
+        #[test]
+        fn prop_dist_symmetric(a in point(), b in point()) {
+            prop_assert!((a.dist(&b) - b.dist(&a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in point(), b in point(), c in point()) {
+            // Allow a tiny epsilon for floating-point rounding.
+            prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_dist2_consistent_with_dist(a in point(), b in point()) {
+            let d = a.dist(&b);
+            prop_assert!((d * d - a.dist2(&b)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_lerp_stays_on_segment(a in point(), b in point(), t in 0.0..1.0f64) {
+            let m = a.lerp(&b, t);
+            // Point on segment: dist(a,m) + dist(m,b) == dist(a,b).
+            prop_assert!((a.dist(&m) + m.dist(&b) - a.dist(&b)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle, the MBR of R-tree entries (§2.3) and of the
+/// provider/customer groups formed by the approximate algorithms (§4).
+///
+/// Invariant: `lo.x <= hi.x && lo.y <= hi.y` for non-empty rectangles.
+/// An *empty* rectangle (from [`Rect::empty`]) has inverted bounds and acts as
+/// the identity for [`Rect::union`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    pub lo: Point,
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corner points (any corner order).
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The empty rectangle: identity element for [`Rect::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Rect {
+            lo: Point::new(f64::INFINITY, f64::INFINITY),
+            hi: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// A degenerate rectangle covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// True if this is the empty rectangle.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi.x - self.lo.x
+        }
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi.y - self.lo.y
+        }
+    }
+
+    /// Area of the rectangle (zero for empty or degenerate rectangles).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter, the "margin" measure used by R*-style split heuristics.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Length of the MBR diagonal — the measure bounded by the approximation
+    /// parameter δ during the partitioning phase (§4.1: "the diagonal of their
+    /// MBR does not exceed a threshold δ").
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.lo.dist(&self.hi)
+        }
+    }
+
+    /// Geometric centre of the rectangle. For CA group representatives the
+    /// paper places `g` "at the geometric centroid of e" (§4.2), which for an
+    /// MBR entry is its centre, making the rep-to-member distance ≤ δ/2
+    /// (Theorem 4).
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(&self.hi)
+    }
+
+    /// True if `p` lies inside (or on the border of) the rectangle.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// True if `other` lies fully inside this rectangle.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.contains_point(&other.lo) && self.contains_point(&other.hi)
+    }
+
+    /// True if the rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Smallest rectangle containing both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// Grows the rectangle to cover `p`.
+    #[inline]
+    pub fn expand_point(&mut self, p: &Point) {
+        self.lo.x = self.lo.x.min(p.x);
+        self.lo.y = self.lo.y.min(p.y);
+        self.hi.x = self.hi.x.max(p.x);
+        self.hi.y = self.hi.y.max(p.y);
+    }
+
+    /// Area increase caused by enlarging this rectangle to cover `other`;
+    /// the classic R-tree `ChooseSubtree` criterion.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Minimum Euclidean distance from `p` to any point in the rectangle
+    /// (`mindist` in the best-first NN algorithm of Hjaltason & Samet, §2.3).
+    /// Zero if `p` is inside.
+    #[inline]
+    pub fn mindist(&self, p: &Point) -> f64 {
+        self.mindist2(p).sqrt()
+    }
+
+    /// Squared version of [`Rect::mindist`] for comparison-only call sites.
+    #[inline]
+    pub fn mindist2(&self, p: &Point) -> f64 {
+        debug_assert!(!self.is_empty());
+        let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
+        dx * dx + dy * dy
+    }
+
+    /// Maximum Euclidean distance from `p` to any point in the rectangle
+    /// (distance to the farthest corner). Used by annular range search to
+    /// prune subtrees that lie entirely inside the inner radius.
+    #[inline]
+    pub fn maxdist(&self, p: &Point) -> f64 {
+        debug_assert!(!self.is_empty());
+        let dx = (p.x - self.lo.x).abs().max((p.x - self.hi.x).abs());
+        let dy = (p.y - self.lo.y).abs().max((p.y - self.hi.y).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Minimum distance between two rectangles
+    /// (`mindist(MBR(Gm), MBR(e))` in the grouped ANN search, Algorithm 6).
+    #[inline]
+    pub fn mindist_rect(&self, other: &Rect) -> f64 {
+        debug_assert!(!self.is_empty() && !other.is_empty());
+        let dx = (other.lo.x - self.hi.x).max(0.0).max(self.lo.x - other.hi.x);
+        let dy = (other.lo.y - self.hi.y).max(0.0).max(self.lo.y - other.hi.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// True if every point of the rectangle is within distance `r` of `c`,
+    /// i.e. the subtree can be reported wholesale by a range query.
+    #[inline]
+    pub fn within_range(&self, c: &Point, r: f64) -> bool {
+        self.maxdist(c) <= r
+    }
+
+    /// Splits the rectangle into two halves along its longest side. Used by
+    /// CA partitioning when an R-tree leaf MBR still exceeds δ
+    /// (§4.2: "conceptually split its MBR into two equal halves on its
+    /// longest dimension").
+    #[inline]
+    pub fn split_longest(&self) -> (Rect, Rect) {
+        if self.width() >= self.height() {
+            let mid = (self.lo.x + self.hi.x) * 0.5;
+            (
+                Rect::new(self.lo, Point::new(mid, self.hi.y)),
+                Rect::new(Point::new(mid, self.lo.y), self.hi),
+            )
+        } else {
+            let mid = (self.lo.y + self.hi.y) * 0.5;
+            (
+                Rect::new(self.lo, Point::new(self.hi.x, mid)),
+                Rect::new(Point::new(self.lo.x, mid), self.hi),
+            )
+        }
+    }
+}
+
+impl FromIterator<Point> for Rect {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut r = Rect::empty();
+        for p in iter {
+            r.expand_point(&p);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(ax: f64, ay: f64, bx: f64, by: f64) -> Rect {
+        Rect::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn new_normalises_corners() {
+        let rect = Rect::new(Point::new(5.0, 1.0), Point::new(2.0, 7.0));
+        assert_eq!(rect.lo, Point::new(2.0, 1.0));
+        assert_eq!(rect.hi, Point::new(5.0, 7.0));
+    }
+
+    #[test]
+    fn empty_rect_behaviour() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.diagonal(), 0.0);
+        let b = r(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(e.union(&b), b);
+        assert!(!e.intersects(&b));
+    }
+
+    #[test]
+    fn area_margin_diagonal() {
+        let rect = r(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(rect.area(), 12.0);
+        assert_eq!(rect.margin(), 7.0);
+        assert_eq!(rect.diagonal(), 5.0);
+        assert_eq!(rect.center(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        let c = r(11.0, 11.0, 12.0, 12.0);
+        assert!(a.contains_rect(&b));
+        assert!(!b.contains_rect(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting.
+        let d = r(10.0, 0.0, 12.0, 5.0);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn mindist_inside_is_zero() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(a.mindist(&Point::new(5.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn mindist_outside_axis_and_corner() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(a.mindist(&Point::new(13.0, 5.0)), 3.0);
+        assert_eq!(a.mindist(&Point::new(13.0, 14.0)), 5.0); // 3-4-5 corner
+    }
+
+    #[test]
+    fn maxdist_is_farthest_corner() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(a.maxdist(&Point::new(0.0, 0.0)), (200.0f64).sqrt());
+        assert_eq!(a.maxdist(&Point::new(5.0, 5.0)), (50.0f64).sqrt());
+    }
+
+    #[test]
+    fn mindist_rect_disjoint_and_overlap() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(4.0, 5.0, 6.0, 7.0);
+        assert_eq!(a.mindist_rect(&b), 5.0); // dx=3, dy=4
+        let c = r(0.5, 0.5, 2.0, 2.0);
+        assert_eq!(a.mindist_rect(&c), 0.0);
+    }
+
+    #[test]
+    fn split_longest_covers_and_halves() {
+        let a = r(0.0, 0.0, 8.0, 2.0);
+        let (l, rr) = a.split_longest();
+        assert_eq!(l, r(0.0, 0.0, 4.0, 2.0));
+        assert_eq!(rr, r(4.0, 0.0, 8.0, 2.0));
+        let tall = r(0.0, 0.0, 2.0, 8.0);
+        let (bot, top) = tall.split_longest();
+        assert_eq!(bot, r(0.0, 0.0, 2.0, 4.0));
+        assert_eq!(top, r(0.0, 4.0, 2.0, 8.0));
+    }
+
+    #[test]
+    fn from_iterator_builds_mbr() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
+        let rect: Rect = pts.into_iter().collect();
+        assert_eq!(rect, r(-2.0, 0.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn within_range_checks_farthest_corner() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let c = Point::new(0.5, 0.5);
+        assert!(a.within_range(&c, 1.0));
+        assert!(!a.within_range(&c, 0.5));
+    }
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -1000.0..1000.0f64
+    }
+
+    fn point() -> impl Strategy<Value = Point> {
+        (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    fn rect() -> impl Strategy<Value = Rect> {
+        (point(), point()).prop_map(|(a, b)| Rect::new(a, b))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(a in rect(), b in rect()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+
+        #[test]
+        fn prop_mindist_le_maxdist(a in rect(), p in point()) {
+            prop_assert!(a.mindist(&p) <= a.maxdist(&p) + 1e-9);
+        }
+
+        #[test]
+        fn prop_mindist_lower_bounds_member_distance(a in rect(), p in point(),
+                                                     tx in 0.0..1.0f64, ty in 0.0..1.0f64) {
+            // Any point inside the rect is at least mindist away from p and at
+            // most maxdist away.
+            let inside = Point::new(
+                a.lo.x + tx * a.width(),
+                a.lo.y + ty * a.height(),
+            );
+            let d = p.dist(&inside);
+            prop_assert!(a.mindist(&p) <= d + 1e-9);
+            prop_assert!(d <= a.maxdist(&p) + 1e-9);
+        }
+
+        #[test]
+        fn prop_mindist_rect_lower_bounds_pointwise(a in rect(), b in rect(),
+                                                    t in 0.0..1.0f64, u in 0.0..1.0f64) {
+            let pa = Point::new(a.lo.x + t * a.width(), a.lo.y + u * a.height());
+            prop_assert!(a.mindist_rect(&b) <= b.mindist(&pa) + 1e-9);
+        }
+
+        #[test]
+        fn prop_split_preserves_area(a in rect()) {
+            let (l, r) = a.split_longest();
+            prop_assert!((l.area() + r.area() - a.area()).abs() < 1e-6);
+            prop_assert!(a.contains_rect(&l) && a.contains_rect(&r));
+        }
+
+        #[test]
+        fn prop_enlargement_nonnegative(a in rect(), b in rect()) {
+            prop_assert!(a.enlargement(&b) >= -1e-9);
+        }
+
+        #[test]
+        fn prop_contains_point_iff_mindist_zero(a in rect(), p in point()) {
+            if a.contains_point(&p) {
+                prop_assert!(a.mindist(&p) == 0.0);
+            } else {
+                prop_assert!(a.mindist(&p) > 0.0);
+            }
+        }
+    }
+}

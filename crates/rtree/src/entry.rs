@@ -1,0 +1,65 @@
+//! R-tree entry types.
+
+use cca_geo::{Point, Rect};
+use cca_storage::PageId;
+
+/// Identifier of an indexed point (the customer's position in `P`).
+pub type ItemId = u64;
+
+/// A leaf-level entry: an indexed point plus its identifier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeafEntry {
+    pub point: Point,
+    pub id: ItemId,
+}
+
+impl LeafEntry {
+    pub fn new(point: Point, id: ItemId) -> Self {
+        LeafEntry { point, id }
+    }
+}
+
+/// An internal-level entry: the MBR of a child node plus its page id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InnerEntry {
+    pub mbr: Rect,
+    pub child: PageId,
+}
+
+impl InnerEntry {
+    pub fn new(mbr: Rect, child: PageId) -> Self {
+        InnerEntry { mbr, child }
+    }
+}
+
+/// On-disk byte size of a leaf entry: x, y (`f64` each) + id (`u64`).
+pub const LEAF_ENTRY_SIZE: usize = 24;
+
+/// On-disk byte size of an inner entry: four MBR coordinates (`f64`) + child
+/// page id (`u32`).
+pub const INNER_ENTRY_SIZE: usize = 36;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_sizes_match_layout() {
+        // 2 coords + id.
+        assert_eq!(LEAF_ENTRY_SIZE, 8 + 8 + 8);
+        // 4 coords + page id.
+        assert_eq!(INNER_ENTRY_SIZE, 4 * 8 + 4);
+    }
+
+    #[test]
+    fn constructors_store_fields() {
+        let le = LeafEntry::new(Point::new(1.0, 2.0), 7);
+        assert_eq!(le.point, Point::new(1.0, 2.0));
+        assert_eq!(le.id, 7);
+        let ie = InnerEntry::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            PageId(3),
+        );
+        assert_eq!(ie.child, PageId(3));
+    }
+}

@@ -1,0 +1,309 @@
+//! Best-first (incremental) nearest-neighbour search.
+//!
+//! Implements the Hjaltason–Samet distance-browsing algorithm the paper cites
+//! as "the state-of-the-art KNN processing technique" (§2.3): a single
+//! min-heap over R-tree entries and points, visited in ascending distance
+//! order. The [`IncNn`] cursor exposes the *incremental* interface NIA and
+//! IDA rely on ("computes the next nearest neighbor of qi", §3.2).
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use cca_geo::{OrdF64, Point};
+use cca_storage::PageId;
+
+use crate::entry::ItemId;
+use crate::node;
+use crate::tree::RTree;
+
+/// Heap item: an R-tree node (to expand) or a point (to yield), keyed by
+/// distance from the query. Points win distance ties against nodes so a
+/// point at distance `d` is reported before a node at `mindist d` is
+/// expanded — both orders are correct, this one terminates earlier.
+#[derive(Clone, Copy, Debug)]
+struct HeapItem {
+    dist: OrdF64,
+    kind: ItemKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ItemKind {
+    Point(Point, ItemId),
+    Node(PageId, u32),
+}
+
+impl HeapItem {
+    fn rank(&self) -> (OrdF64, u8, u64) {
+        match self.kind {
+            ItemKind::Point(_, id) => (self.dist, 0, id),
+            ItemKind::Node(page, _) => (self.dist, 1, u64::from(page.0)),
+        }
+    }
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+/// An incremental nearest-neighbour cursor over the tree.
+///
+/// Yields the indexed points in ascending distance from the query point, one
+/// at a time, reading R-tree pages lazily (each node visit goes through the
+/// buffer pool and may fault).
+pub struct IncNn<'t> {
+    tree: &'t RTree,
+    query: Point,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    yielded: usize,
+}
+
+impl<'t> IncNn<'t> {
+    pub(crate) fn new(tree: &'t RTree, query: Point) -> Self {
+        let mut heap = BinaryHeap::new();
+        if !tree.is_empty() {
+            heap.push(Reverse(HeapItem {
+                dist: OrdF64::new(0.0),
+                kind: ItemKind::Node(tree.root(), tree.height()),
+            }));
+        }
+        IncNn {
+            tree,
+            query,
+            heap,
+            yielded: 0,
+        }
+    }
+
+    /// Number of neighbours yielded so far.
+    pub fn yielded(&self) -> usize {
+        self.yielded
+    }
+
+    /// Distance of the next neighbour without consuming it, if any.
+    pub fn peek_dist(&mut self) -> Option<f64> {
+        self.settle_to_point();
+        self.heap.peek().map(|Reverse(item)| item.dist.get())
+    }
+
+    /// Expands nodes until the heap's top is a point (or the heap empties).
+    fn settle_to_point(&mut self) {
+        while let Some(Reverse(item)) = self.heap.peek() {
+            match item.kind {
+                ItemKind::Point(..) => return,
+                ItemKind::Node(page, level_height) => {
+                    self.heap.pop();
+                    self.expand(page, level_height);
+                }
+            }
+        }
+    }
+
+    fn expand(&mut self, page: PageId, level_height: u32) {
+        let q = self.query;
+        let heap = &mut self.heap;
+        if level_height == 1 {
+            self.tree.store().with_page(page, |bytes| {
+                node::for_each_leaf_entry(bytes, |p, id| {
+                    heap.push(Reverse(HeapItem {
+                        dist: OrdF64::new(q.dist(&p)),
+                        kind: ItemKind::Point(p, id),
+                    }));
+                });
+            });
+        } else {
+            self.tree.store().with_page(page, |bytes| {
+                node::for_each_inner_entry(bytes, |mbr, child| {
+                    heap.push(Reverse(HeapItem {
+                        dist: OrdF64::new(mbr.mindist(&q)),
+                        kind: ItemKind::Node(child, level_height - 1),
+                    }));
+                });
+            });
+        }
+    }
+}
+
+impl Iterator for IncNn<'_> {
+    type Item = (Point, ItemId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.settle_to_point();
+        let Reverse(item) = self.heap.pop()?;
+        match item.kind {
+            ItemKind::Point(p, id) => {
+                self.yielded += 1;
+                Some((p, id, item.dist.get()))
+            }
+            ItemKind::Node(..) => unreachable!("settle_to_point leaves a point on top"),
+        }
+    }
+}
+
+impl RTree {
+    /// Opens an incremental NN cursor at `query`.
+    pub fn inc_nn(&self, query: Point) -> IncNn<'_> {
+        IncNn::new(self, query)
+    }
+
+    /// The `k` nearest neighbours of `query` in ascending distance order.
+    pub fn knn(&self, query: Point, k: usize) -> Vec<(Point, ItemId, f64)> {
+        self.inc_nn(query).take(k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_storage::PageStore;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_items(n: usize, seed: u64) -> Vec<(Point, ItemId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)),
+                    i as ItemId,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_knn(items: &[(Point, ItemId)], q: Point, k: usize) -> Vec<(ItemId, f64)> {
+        let mut v: Vec<(ItemId, f64)> = items.iter().map(|&(p, id)| (id, q.dist(&p))).collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let items = random_items(2000, 21);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
+        let q = Point::new(333.0, 666.0);
+        let got = tree.knn(q, 25);
+        let want = brute_knn(&items, q, 25);
+        assert_eq!(got.len(), 25);
+        for (g, w) in got.iter().zip(&want) {
+            // Distances must agree exactly; ids may differ only under exact
+            // distance ties.
+            assert!((g.2 - w.1).abs() < 1e-12, "got {g:?}, want {w:?}");
+        }
+    }
+
+    #[test]
+    fn cursor_yields_ascending_distances() {
+        let items = random_items(1500, 22);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
+        let q = Point::new(10.0, 10.0);
+        let mut last = 0.0;
+        let mut count = 0;
+        for (_, _, d) in tree.inc_nn(q) {
+            assert!(d >= last - 1e-12, "distance regressed: {d} < {last}");
+            last = d;
+            count += 1;
+        }
+        assert_eq!(count, 1500, "cursor must exhaust the whole tree");
+    }
+
+    #[test]
+    fn cursor_is_lazy_in_io() {
+        let items = random_items(20000, 23);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 8192), &items);
+        tree.finish_build(100.0);
+        let mut cur = tree.inc_nn(Point::new(500.0, 500.0));
+        let _ = cur.next();
+        let after_first = tree.io_stats().faults;
+        // Exhausting the cursor costs far more I/O than the first NN.
+        for _ in cur {}
+        let after_all = tree.io_stats().faults;
+        assert!(
+            after_first * 20 < after_all,
+            "first NN should be much cheaper: {after_first} vs {after_all}"
+        );
+    }
+
+    #[test]
+    fn peek_matches_next() {
+        let items = random_items(300, 24);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 1024), &items);
+        let mut cur = tree.inc_nn(Point::new(400.0, 100.0));
+        for _ in 0..300 {
+            let peeked = cur.peek_dist().unwrap();
+            let (_, _, d) = cur.next().unwrap();
+            assert_eq!(peeked, d);
+        }
+        assert_eq!(cur.peek_dist(), None);
+        assert!(cur.next().is_none());
+    }
+
+    #[test]
+    fn knn_on_empty_tree() {
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 16), &[]);
+        assert!(tree.knn(Point::new(0.0, 0.0), 5).is_empty());
+    }
+
+    #[test]
+    fn knn_k_larger_than_size() {
+        let items = random_items(10, 25);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 64), &items);
+        assert_eq!(tree.knn(Point::new(0.0, 0.0), 100).len(), 10);
+    }
+
+    #[test]
+    fn exact_query_point_distance_zero() {
+        let items = vec![(Point::new(5.0, 5.0), 0), (Point::new(6.0, 6.0), 1)];
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 16), &items);
+        let nn = tree.knn(Point::new(5.0, 5.0), 1);
+        assert_eq!(nn[0].1, 0);
+        assert_eq!(nn[0].2, 0.0);
+    }
+
+    #[test]
+    fn multiple_cursors_coexist() {
+        let items = random_items(500, 26);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 1024), &items);
+        let mut a = tree.inc_nn(Point::new(0.0, 0.0));
+        let mut b = tree.inc_nn(Point::new(1000.0, 1000.0));
+        // Interleaved advancement must not interfere.
+        let a1 = a.next().unwrap();
+        let b1 = b.next().unwrap();
+        let a2 = a.next().unwrap();
+        let b2 = b.next().unwrap();
+        assert!(a1.2 <= a2.2);
+        assert!(b1.2 <= b2.2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_knn_distances_match_brute(seed in 0u64..1000, n in 1usize..300,
+                                          qx in 0.0..1000.0f64, qy in 0.0..1000.0f64,
+                                          k in 1usize..50) {
+            let items = random_items(n, seed);
+            let tree = RTree::bulk_load(PageStore::with_config(1024, 1024), &items);
+            let q = Point::new(qx, qy);
+            let got = tree.knn(q, k);
+            let want = brute_knn(&items, q, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.2 - w.1).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! LRU buffer pool with write-back of dirty pages.
+
+use crate::disk::{DiskManager, PageId};
+use crate::lru::LruList;
+use crate::stats::IoStats;
+
+const NO_FRAME: u32 = u32::MAX;
+
+struct Frame {
+    page: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+}
+
+/// A buffer pool caching up to `capacity` pages with LRU replacement.
+///
+/// The evaluation uses "an LRU buffer with size 1% of the tree size" (§5.1);
+/// the R-tree configures that after bulk loading via
+/// [`BufferPool::set_capacity`]. Every cache miss is a page fault charged at
+/// 10 ms by [`IoStats`].
+pub struct BufferPool {
+    capacity: usize,
+    frames: Vec<Frame>,
+    /// Maps `PageId` index → frame slot (`NO_FRAME` when uncached). Page ids
+    /// are dense, so a vector beats a hash map here.
+    page_table: Vec<u32>,
+    lru: LruList,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BufferPool {
+            capacity,
+            frames: Vec::new(),
+            page_table: Vec::new(),
+            lru: LruList::new(capacity),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Current capacity in pages.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently cached.
+    #[inline]
+    pub fn cached_pages(&self) -> usize {
+        self.frames.len() - self.free_slots().len()
+    }
+
+    /// Accumulated I/O statistics.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the statistics (cache content is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    fn free_slots(&self) -> Vec<usize> {
+        (0..self.frames.len())
+            .filter(|&s| !self.lru.contains(s))
+            .collect()
+    }
+
+    fn ensure_page_table(&mut self, id: PageId) {
+        if id.index() >= self.page_table.len() {
+            self.page_table.resize(id.index() + 1, NO_FRAME);
+        }
+    }
+
+    /// Returns the frame slot caching `id`, if any.
+    fn lookup(&self, id: PageId) -> Option<usize> {
+        let slot = *self.page_table.get(id.index())?;
+        (slot != NO_FRAME).then_some(slot as usize)
+    }
+
+    /// Picks a frame for a new page: reuse a free slot, grow below capacity,
+    /// else evict the LRU victim (writing it back if dirty).
+    fn acquire_slot(&mut self, disk: &mut DiskManager) -> usize {
+        if self.frames.len() < self.capacity {
+            let slot = self.frames.len();
+            self.frames.push(Frame {
+                page: PageId(u32::MAX),
+                data: vec![0u8; disk.page_size()].into_boxed_slice(),
+                dirty: false,
+            });
+            self.lru.grow_to(self.frames.len());
+            return slot;
+        }
+        let victim = self
+            .lru
+            .pop_lru()
+            .expect("buffer pool full but LRU empty: pin leak");
+        self.evict_slot(victim, disk);
+        victim
+    }
+
+    fn evict_slot(&mut self, slot: usize, disk: &mut DiskManager) {
+        let frame = &mut self.frames[slot];
+        if frame.dirty {
+            disk.write_page(frame.page, &frame.data);
+            self.stats.writes += 1;
+            frame.dirty = false;
+        }
+        let old = frame.page;
+        if old.0 != u32::MAX {
+            self.page_table[old.index()] = NO_FRAME;
+        }
+    }
+
+    /// Reads page `id` through the pool and passes its bytes to `f`.
+    ///
+    /// Counts a hit if cached, otherwise a fault plus a physical read.
+    pub fn with_page<R>(
+        &mut self,
+        disk: &mut DiskManager,
+        id: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        self.ensure_page_table(id);
+        if let Some(slot) = self.lookup(id) {
+            self.stats.hits += 1;
+            self.lru.touch(slot);
+            return f(&self.frames[slot].data);
+        }
+        self.stats.faults += 1;
+        let slot = self.acquire_slot(disk);
+        // Physical read into the frame. The frame buffer has the right size
+        // by construction.
+        disk.read_page(id, &mut self.frames[slot].data);
+        self.frames[slot].page = id;
+        self.frames[slot].dirty = false;
+        self.page_table[id.index()] = slot as u32;
+        self.lru.touch(slot);
+        f(&self.frames[slot].data)
+    }
+
+    /// Writes a full page through the pool (write-allocate, no read needed
+    /// because the whole page is replaced). The page is marked dirty and hits
+    /// the disk on eviction or [`BufferPool::flush_all`].
+    pub fn write_page(&mut self, disk: &mut DiskManager, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), disk.page_size(), "buffer/page size mismatch");
+        self.ensure_page_table(id);
+        let slot = match self.lookup(id) {
+            Some(slot) => slot,
+            None => {
+                let slot = self.acquire_slot(disk);
+                self.frames[slot].page = id;
+                self.page_table[id.index()] = slot as u32;
+                slot
+            }
+        };
+        self.frames[slot].data.copy_from_slice(data);
+        self.frames[slot].dirty = true;
+        self.lru.touch(slot);
+    }
+
+    /// Writes back every dirty frame.
+    pub fn flush_all(&mut self, disk: &mut DiskManager) {
+        for slot in 0..self.frames.len() {
+            if self.lru.contains(slot) && self.frames[slot].dirty {
+                disk.write_page(self.frames[slot].page, &self.frames[slot].data);
+                self.stats.writes += 1;
+                self.frames[slot].dirty = false;
+            }
+        }
+    }
+
+    /// Flushes and drops all cached frames (cold restart between experiment
+    /// runs, so each algorithm starts with an empty buffer as in the paper).
+    pub fn clear(&mut self, disk: &mut DiskManager) {
+        self.flush_all(disk);
+        for slot in 0..self.frames.len() {
+            if self.lru.contains(slot) {
+                let page = self.frames[slot].page;
+                self.page_table[page.index()] = NO_FRAME;
+                self.lru.remove(slot);
+            }
+        }
+        self.frames.clear();
+        self.lru = LruList::new(self.capacity);
+    }
+
+    /// Changes the capacity; if shrinking, evicts LRU victims immediately.
+    pub fn set_capacity(&mut self, disk: &mut DiskManager, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.capacity = capacity;
+        while self.lru.len() > capacity {
+            let victim = self.lru.pop_lru().expect("len > 0");
+            self.evict_slot(victim, disk);
+        }
+        // Frames beyond capacity stay allocated but unused; simpler than
+        // compacting slots, and set_capacity is not on any hot path.
+        self.lru.grow_to(self.frames.len().max(capacity));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pool_cap: usize, pages: usize, page_size: usize) -> (DiskManager, BufferPool, Vec<PageId>) {
+        let mut disk = DiskManager::new(page_size);
+        let ids: Vec<PageId> = (0..pages).map(|_| disk.alloc_page()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let data = vec![i as u8; page_size];
+            disk.write_page(id, &data);
+        }
+        disk.reset_counters();
+        (disk, BufferPool::new(pool_cap), ids)
+    }
+
+    #[test]
+    fn first_access_faults_second_hits() {
+        let (mut disk, mut pool, ids) = setup(2, 2, 16);
+        pool.with_page(&mut disk, ids[0], |d| assert_eq!(d[0], 0));
+        pool.with_page(&mut disk, ids[0], |d| assert_eq!(d[0], 0));
+        let s = pool.stats();
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(disk.physical_reads(), 1);
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let (mut disk, mut pool, ids) = setup(2, 3, 16);
+        pool.with_page(&mut disk, ids[0], |_| ());
+        pool.with_page(&mut disk, ids[1], |_| ());
+        // Touch page 0 so page 1 becomes the LRU victim.
+        pool.with_page(&mut disk, ids[0], |_| ());
+        pool.with_page(&mut disk, ids[2], |_| ()); // evicts 1
+        pool.with_page(&mut disk, ids[0], |_| ()); // still cached -> hit
+        pool.with_page(&mut disk, ids[1], |_| ()); // fault again
+        let s = pool.stats();
+        assert_eq!(s.faults, 4, "pages 0,1,2 cold + page 1 re-read");
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let (mut disk, mut pool, ids) = setup(1, 2, 8);
+        pool.write_page(&mut disk, ids[0], &[9u8; 8]);
+        assert_eq!(disk.physical_writes(), 0, "write-back is deferred");
+        pool.with_page(&mut disk, ids[1], |_| ()); // evicts dirty page 0
+        assert_eq!(disk.physical_writes(), 1);
+        // Content must survive the round trip.
+        pool.with_page(&mut disk, ids[0], |d| assert_eq!(d, &[9u8; 8]));
+        assert_eq!(pool.stats().writes, 1);
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let (mut disk, mut pool, ids) = setup(4, 2, 8);
+        pool.write_page(&mut disk, ids[0], &[7u8; 8]);
+        pool.write_page(&mut disk, ids[1], &[8u8; 8]);
+        pool.flush_all(&mut disk);
+        assert_eq!(disk.physical_writes(), 2);
+        // Flushing twice writes nothing new.
+        pool.flush_all(&mut disk);
+        assert_eq!(disk.physical_writes(), 2);
+    }
+
+    #[test]
+    fn clear_cold_starts_the_cache() {
+        let (mut disk, mut pool, ids) = setup(2, 2, 8);
+        pool.with_page(&mut disk, ids[0], |_| ());
+        pool.clear(&mut disk);
+        pool.reset_stats();
+        pool.with_page(&mut disk, ids[0], |_| ());
+        assert_eq!(pool.stats().faults, 1, "cache was cold after clear");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let (mut disk, mut pool, ids) = setup(3, 3, 8);
+        for &id in &ids {
+            pool.with_page(&mut disk, id, |_| ());
+        }
+        assert_eq!(pool.cached_pages(), 3);
+        pool.set_capacity(&mut disk, 1);
+        assert!(pool.cached_pages() <= 1);
+        // The survivor is the most recently used page (ids[2]).
+        pool.reset_stats();
+        pool.with_page(&mut disk, ids[2], |_| ());
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_pool_thrashes() {
+        let (mut disk, mut pool, ids) = setup(2, 5, 8);
+        // Cyclic scan over 5 pages with a 2-page pool: every access faults.
+        for _ in 0..3 {
+            for &id in &ids {
+                pool.with_page(&mut disk, id, |_| ());
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.faults, 15);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn write_then_read_same_frame_no_fault() {
+        let (mut disk, mut pool, ids) = setup(2, 1, 8);
+        pool.write_page(&mut disk, ids[0], &[3u8; 8]);
+        pool.with_page(&mut disk, ids[0], |d| assert_eq!(d, &[3u8; 8]));
+        let s = pool.stats();
+        assert_eq!(s.faults, 0, "write-allocate avoids the read fault");
+        assert_eq!(s.hits, 1);
+    }
+}

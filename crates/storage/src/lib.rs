@@ -1,0 +1,38 @@
+//! Paged storage substrate for the CCA reproduction.
+//!
+//! The paper assumes the customer set `P` "resides in secondary storage,
+//! indexed by a spatial access method" (§1) and its evaluation fixes a 1 KB
+//! page size, an LRU buffer sized at 1 % of the R-tree, and charges 10 ms per
+//! page fault (§5.1). This crate reproduces that storage model:
+//!
+//! * [`disk::DiskManager`] — an in-memory simulated disk holding fixed-size
+//!   pages and counting *physical* reads/writes,
+//! * [`lru::LruList`] — an O(1) intrusive LRU list,
+//! * [`buffer::BufferPool`] — a buffer pool with LRU replacement and
+//!   write-back of dirty pages,
+//! * [`stats::IoStats`] — fault counters plus the paper's charged I/O time,
+//! * [`store::PageStore`] — the facade combining disk and buffer pool behind
+//!   a single-threaded interior-mutability interface used by the R-tree.
+//!
+//! The disk is in-memory (documented substitution in DESIGN.md §5): the
+//! paper itself *charges* I/O time per fault rather than measuring a device,
+//! so fault counting through a real LRU is exactly the fidelity required.
+
+pub mod buffer;
+pub mod disk;
+pub mod lru;
+pub mod stats;
+pub mod store;
+
+pub use buffer::BufferPool;
+pub use disk::{DiskManager, PageId};
+pub use stats::IoStats;
+pub use store::PageStore;
+
+/// Default page size used in the paper's evaluation ("indexed by an R-tree
+/// with 1Kbyte page size", §5.1).
+pub const DEFAULT_PAGE_SIZE: usize = 1024;
+
+/// I/O cost charged per page fault ("we measure I/O time by charging 10ms
+/// per page fault", §5.1).
+pub const IO_COST_PER_FAULT_MS: f64 = 10.0;

@@ -1,0 +1,268 @@
+//! An intrusive, index-based LRU list with O(1) touch/push/pop.
+//!
+//! Used by the buffer pool to pick eviction victims. Entries are identified
+//! by dense *slot* indices (the buffer pool's frame numbers), so the list is
+//! two parallel `Vec<u32>`s rather than a pointer-chasing linked list.
+
+const NIL: u32 = u32::MAX;
+
+/// Doubly-linked LRU list over slots `0..capacity`.
+///
+/// Head = most recently used, tail = least recently used. Slots may be
+/// *detached* (not in the list); pushing an attached slot first detaches it,
+/// so `touch` is simply `push_front`.
+pub struct LruList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    in_list: Vec<bool>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl LruList {
+    /// Creates a list able to track `capacity` slots, all initially detached.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity < NIL as usize, "capacity too large for u32 links");
+        LruList {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            in_list: vec![false; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of attached slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is attached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots this list can track.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.prev.len()
+    }
+
+    /// True if `slot` is currently attached.
+    #[inline]
+    pub fn contains(&self, slot: usize) -> bool {
+        self.in_list[slot]
+    }
+
+    /// Grows the tracked slot range (new slots start detached).
+    pub fn grow_to(&mut self, capacity: usize) {
+        assert!(capacity < NIL as usize);
+        if capacity > self.prev.len() {
+            self.prev.resize(capacity, NIL);
+            self.next.resize(capacity, NIL);
+            self.in_list.resize(capacity, false);
+        }
+    }
+
+    /// Detaches `slot` if attached.
+    pub fn remove(&mut self, slot: usize) {
+        if !self.in_list[slot] {
+            return;
+        }
+        let s = slot as u32;
+        let p = self.prev[slot];
+        let n = self.next[slot];
+        if p == NIL {
+            debug_assert_eq!(self.head, s);
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            debug_assert_eq!(self.tail, s);
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = NIL;
+        self.in_list[slot] = false;
+        self.len -= 1;
+    }
+
+    /// Moves (or inserts) `slot` to the most-recently-used position.
+    pub fn touch(&mut self, slot: usize) {
+        self.remove(slot);
+        let s = slot as u32;
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = s;
+        }
+        self.head = s;
+        if self.tail == NIL {
+            self.tail = s;
+        }
+        self.in_list[slot] = true;
+        self.len += 1;
+    }
+
+    /// Removes and returns the least-recently-used slot, if any.
+    pub fn pop_lru(&mut self) -> Option<usize> {
+        if self.tail == NIL {
+            return None;
+        }
+        let victim = self.tail as usize;
+        self.remove(victim);
+        Some(victim)
+    }
+
+    /// Peeks at the least-recently-used slot without removing it.
+    #[inline]
+    pub fn peek_lru(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail as usize)
+    }
+
+    /// Iterates slots from most- to least-recently-used (test/debug helper).
+    pub fn iter_mru_to_lru(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let slot = cur as usize;
+                cur = self.next[slot];
+                Some(slot)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_list_pops_none() {
+        let mut l = LruList::new(4);
+        assert!(l.is_empty());
+        assert_eq!(l.pop_lru(), None);
+        assert_eq!(l.peek_lru(), None);
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut l = LruList::new(4);
+        l.touch(0);
+        l.touch(1);
+        l.touch(2);
+        assert_eq!(l.pop_lru(), Some(0));
+        assert_eq!(l.pop_lru(), Some(1));
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruList::new(4);
+        l.touch(0);
+        l.touch(1);
+        l.touch(2);
+        l.touch(0); // 0 becomes MRU, so 1 is now the LRU victim
+        assert_eq!(l.pop_lru(), Some(1));
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), Some(0));
+    }
+
+    #[test]
+    fn remove_detaches_middle_element() {
+        let mut l = LruList::new(4);
+        l.touch(0);
+        l.touch(1);
+        l.touch(2);
+        l.remove(1);
+        assert!(!l.contains(1));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.pop_lru(), Some(0));
+        assert_eq!(l.pop_lru(), Some(2));
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = LruList::new(4);
+        l.touch(0);
+        l.touch(1);
+        l.touch(2); // order MRU→LRU: 2,1,0
+        l.remove(2); // remove head
+        l.remove(0); // remove tail
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.iter_mru_to_lru().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn grow_extends_capacity() {
+        let mut l = LruList::new(1);
+        l.touch(0);
+        l.grow_to(3);
+        l.touch(2);
+        assert_eq!(l.capacity(), 3);
+        assert_eq!(l.pop_lru(), Some(0));
+        assert_eq!(l.pop_lru(), Some(2));
+    }
+
+    /// Reference model: a Vec where front = MRU.
+    #[derive(Default)]
+    struct Model(Vec<usize>);
+
+    impl Model {
+        fn touch(&mut self, s: usize) {
+            self.0.retain(|&x| x != s);
+            self.0.insert(0, s);
+        }
+        fn remove(&mut self, s: usize) {
+            self.0.retain(|&x| x != s);
+        }
+        fn pop_lru(&mut self) -> Option<usize> {
+            self.0.pop()
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Touch(usize),
+        Remove(usize),
+        Pop,
+    }
+
+    fn op(max_slot: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..max_slot).prop_map(Op::Touch),
+            (0..max_slot).prop_map(Op::Remove),
+            Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_reference_model(ops in proptest::collection::vec(op(8), 1..200)) {
+            let mut l = LruList::new(8);
+            let mut m = Model::default();
+            for o in ops {
+                match o {
+                    Op::Touch(s) => { l.touch(s); m.touch(s); }
+                    Op::Remove(s) => { l.remove(s); m.remove(s); }
+                    Op::Pop => {
+                        prop_assert_eq!(l.pop_lru(), m.pop_lru());
+                    }
+                }
+                prop_assert_eq!(l.len(), m.0.len());
+                prop_assert_eq!(l.iter_mru_to_lru().collect::<Vec<_>>(), m.0.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! I/O statistics and the paper's charged I/O time model.
+
+use crate::IO_COST_PER_FAULT_MS;
+
+/// Counters describing buffer-pool / disk traffic.
+///
+/// The evaluation (§5.1) measures "I/O time by charging 10ms per page
+/// fault"; [`IoStats::charged_io_time_ms`] applies exactly that model. A
+/// *fault* is a logical page request the buffer pool could not serve from a
+/// cached frame (a physical read).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Logical page requests served from the buffer pool (no disk access).
+    pub hits: u64,
+    /// Logical page requests that required a physical read (page faults).
+    pub faults: u64,
+    /// Physical writes (dirty-page write-backs plus direct writes).
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total logical page requests.
+    #[inline]
+    pub fn logical_reads(&self) -> u64 {
+        self.hits + self.faults
+    }
+
+    /// Fraction of logical reads served from the buffer (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.logical_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The paper's charged I/O time, in milliseconds: `faults × 10 ms`.
+    #[inline]
+    pub fn charged_io_time_ms(&self) -> f64 {
+        self.faults as f64 * IO_COST_PER_FAULT_MS
+    }
+
+    /// Charged I/O time in seconds (the unit of the paper's figures).
+    #[inline]
+    pub fn charged_io_time_s(&self) -> f64 {
+        self.charged_io_time_ms() / 1000.0
+    }
+
+    /// Element-wise difference (`self - earlier`), for measuring a phase.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            hits: self.hits - earlier.hits,
+            faults: self.faults - earlier.faults,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            hits: self.hits + rhs.hits,
+            faults: self.faults + rhs.faults,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charged_time_follows_ten_ms_rule() {
+        let s = IoStats {
+            hits: 5,
+            faults: 100,
+            writes: 0,
+        };
+        assert_eq!(s.charged_io_time_ms(), 1000.0);
+        assert_eq!(s.charged_io_time_s(), 1.0);
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero_and_mixed() {
+        assert_eq!(IoStats::default().hit_ratio(), 0.0);
+        let s = IoStats {
+            hits: 3,
+            faults: 1,
+            writes: 0,
+        };
+        assert_eq!(s.hit_ratio(), 0.75);
+        assert_eq!(s.logical_reads(), 4);
+    }
+
+    #[test]
+    fn since_subtracts_elementwise() {
+        let a = IoStats {
+            hits: 10,
+            faults: 7,
+            writes: 2,
+        };
+        let b = IoStats {
+            hits: 4,
+            faults: 5,
+            writes: 1,
+        };
+        assert_eq!(
+            a.since(&b),
+            IoStats {
+                hits: 6,
+                faults: 2,
+                writes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = IoStats {
+            hits: 1,
+            faults: 2,
+            writes: 3,
+        };
+        let b = IoStats {
+            hits: 10,
+            faults: 20,
+            writes: 30,
+        };
+        assert_eq!(
+            a + b,
+            IoStats {
+                hits: 11,
+                faults: 22,
+                writes: 33
+            }
+        );
+    }
+}

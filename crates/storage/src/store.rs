@@ -1,0 +1,173 @@
+//! [`PageStore`]: the facade the R-tree talks to.
+//!
+//! Combines a [`DiskManager`] and a [`BufferPool`] behind `&self` methods via
+//! interior mutability. The CCA algorithms are single-threaded (the paper's
+//! cost model is sequential CPU + charged I/O), so a `RefCell` is the right
+//! tool; the type is deliberately `!Sync`.
+
+use std::cell::RefCell;
+
+use crate::buffer::BufferPool;
+use crate::disk::{DiskManager, PageId};
+use crate::stats::IoStats;
+use crate::DEFAULT_PAGE_SIZE;
+
+struct Inner {
+    disk: DiskManager,
+    pool: BufferPool,
+}
+
+/// Paged storage with a buffer pool, usable through shared references.
+pub struct PageStore {
+    inner: RefCell<Inner>,
+}
+
+impl PageStore {
+    /// Creates a store with the paper's default 1 KB pages and a provisional
+    /// buffer capacity (callers re-size it to 1 % of the tree after loading).
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_PAGE_SIZE, 64)
+    }
+
+    /// Creates a store with explicit page size (bytes) and buffer capacity
+    /// (pages).
+    pub fn with_config(page_size: usize, buffer_pages: usize) -> Self {
+        PageStore {
+            inner: RefCell::new(Inner {
+                disk: DiskManager::new(page_size),
+                pool: BufferPool::new(buffer_pages),
+            }),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.inner.borrow().disk.page_size()
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> usize {
+        self.inner.borrow().disk.num_pages()
+    }
+
+    /// Allocates a fresh zeroed page.
+    pub fn alloc_page(&self) -> PageId {
+        self.inner.borrow_mut().disk.alloc_page()
+    }
+
+    /// Reads a page through the buffer pool; `f` receives the page bytes.
+    ///
+    /// The closure must not re-enter the store (single-threaded storage
+    /// discipline; enforced by `RefCell` at runtime).
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.pool.with_page(&mut inner.disk, id, f)
+    }
+
+    /// Writes a full page through the buffer pool (write-back).
+    pub fn write_page(&self, id: PageId, data: &[u8]) {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.pool.write_page(&mut inner.disk, id, data);
+    }
+
+    /// Flushes dirty pages to the simulated disk.
+    pub fn flush(&self) {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.pool.flush_all(&mut inner.disk);
+    }
+
+    /// Buffer-pool statistics accumulated so far.
+    pub fn io_stats(&self) -> IoStats {
+        self.inner.borrow().pool.stats()
+    }
+
+    /// Clears I/O statistics (e.g. after bulk load, before measuring
+    /// queries).
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().pool.reset_stats();
+    }
+
+    /// Re-sizes the buffer pool; used to apply the paper's "1 % of the tree
+    /// size" rule once the tree has been built.
+    pub fn set_buffer_capacity(&self, pages: usize) {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.pool.set_capacity(&mut inner.disk, pages);
+    }
+
+    /// Current buffer capacity in pages.
+    pub fn buffer_capacity(&self) -> usize {
+        self.inner.borrow().pool.capacity()
+    }
+
+    /// Flushes and empties the cache so a subsequent run starts cold.
+    pub fn clear_cache(&self) {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.pool.clear(&mut inner.disk);
+    }
+}
+
+impl Default for PageStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_facade() {
+        let store = PageStore::with_config(32, 2);
+        let a = store.alloc_page();
+        let b = store.alloc_page();
+        store.write_page(a, &[1u8; 32]);
+        store.write_page(b, &[2u8; 32]);
+        store.with_page(a, |d| assert_eq!(d, &[1u8; 32]));
+        store.with_page(b, |d| assert_eq!(d, &[2u8; 32]));
+        assert_eq!(store.num_pages(), 2);
+    }
+
+    #[test]
+    fn stats_visible_and_resettable() {
+        let store = PageStore::with_config(32, 1);
+        let a = store.alloc_page();
+        let b = store.alloc_page();
+        store.write_page(a, &[1u8; 32]);
+        store.flush();
+        store.clear_cache();
+        store.reset_stats();
+        store.with_page(a, |_| ());
+        store.with_page(b, |_| ()); // evicts a (capacity 1)
+        store.with_page(a, |_| ());
+        let s = store.io_stats();
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.hits, 0);
+        assert!(s.charged_io_time_ms() == 30.0);
+    }
+
+    #[test]
+    fn one_percent_rule_applied_by_caller() {
+        let store = PageStore::with_config(32, 1000);
+        for _ in 0..500 {
+            store.alloc_page();
+        }
+        // Caller computes 1% of pages, min 1.
+        let cap = (store.num_pages() / 100).max(1);
+        store.set_buffer_capacity(cap);
+        assert_eq!(store.buffer_capacity(), 5);
+    }
+
+    #[test]
+    fn cold_start_after_clear_cache() {
+        let store = PageStore::with_config(32, 8);
+        let a = store.alloc_page();
+        store.write_page(a, &[5u8; 32]);
+        store.flush();
+        store.with_page(a, |_| ());
+        store.clear_cache();
+        store.reset_stats();
+        store.with_page(a, |d| assert_eq!(d, &[5u8; 32]));
+        assert_eq!(store.io_stats().faults, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Public-clinic assignment under mismatched distributions (§5.2, Fig. 13).
+//!
+//! The paper's third scenario: "the assignment of residents to designated,
+//! public clinics of given individual capacities". The hard case its
+//! evaluation highlights is when providers and customers follow *different*
+//! distributions — e.g. clinics placed uniformly across a city while
+//! residents crowd into a few neighbourhoods. This example measures all
+//! four U/C combinations and mixed clinic capacities (Fig. 12's axis).
+//!
+//! Run with: `cargo run --release --example clinic_dispatch`
+
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::{Algorithm, SpatialAssignment};
+
+fn run_combo(
+    q_dist: SpatialDistribution,
+    p_dist: SpatialDistribution,
+    capacity: CapacitySpec,
+) -> (String, f64, u64, u64) {
+    let cfg = WorkloadConfig {
+        num_providers: 40,
+        num_customers: 4000,
+        capacity,
+        q_dist,
+        p_dist,
+        seed: 99,
+    };
+    let w = cfg.generate();
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    let r = instance.run(Algorithm::Ida);
+    r.validate().expect("valid matching");
+    (
+        format!("{}vs{}", q_dist.label(), p_dist.label()),
+        r.cost(),
+        r.stats.esub_edges,
+        r.stats.io.faults,
+    )
+}
+
+fn main() {
+    println!("clinics = 40, residents = 4000, capacity k = 110 (fixed)\n");
+    println!(
+        "{:<8} {:>12} {:>10} {:>8}   note",
+        "combo", "cost", "|Esub|", "faults"
+    );
+    let mut esub_same = 0u64;
+    let mut esub_cross = 0u64;
+    for (qd, pd) in [
+        (SpatialDistribution::Uniform, SpatialDistribution::Uniform),
+        (SpatialDistribution::Uniform, SpatialDistribution::Clustered),
+        (SpatialDistribution::Clustered, SpatialDistribution::Uniform),
+        (SpatialDistribution::Clustered, SpatialDistribution::Clustered),
+    ] {
+        let (label, cost, esub, faults) = run_combo(qd, pd, CapacitySpec::Fixed(110));
+        let note = match (qd, pd) {
+            (SpatialDistribution::Uniform, SpatialDistribution::Clustered) => {
+                "clinics far from crowded districts compete for residents"
+            }
+            (SpatialDistribution::Clustered, SpatialDistribution::Uniform) => {
+                "co-located clinics must reach far to fill capacity"
+            }
+            _ => "matched distributions: local assignments suffice",
+        };
+        println!("{label:<8} {cost:>12.0} {esub:>10} {faults:>8}   {note}");
+        if qd == pd {
+            esub_same = esub_same.max(esub);
+        } else {
+            esub_cross = esub_cross.max(esub);
+        }
+    }
+    println!(
+        "\ncross-distribution instances explore {:.1}x more edges than matched \
+         ones — the effect behind Figure 13.",
+        esub_cross as f64 / esub_same as f64
+    );
+
+    // Mixed capacities (Figure 12): heterogeneous clinics change nothing
+    // about feasibility or the algorithms' pruning.
+    println!("\nmixed clinic capacities (range 55~165, same expected total):");
+    let (label, cost, esub, faults) = run_combo(
+        SpatialDistribution::Clustered,
+        SpatialDistribution::Clustered,
+        CapacitySpec::Mixed { lo: 55, hi: 165 },
+    );
+    println!("{label:<8} {cost:>12.0} {esub:>10} {faults:>8}   (CvsC, mixed k)");
+}

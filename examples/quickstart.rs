@@ -1,0 +1,64 @@
+//! Quickstart: build a small CCA instance and solve it exactly.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cca::geo::Point;
+use cca::{Algorithm, SpatialAssignment};
+
+fn main() {
+    // Three wireless access points with limited client slots (the paper's
+    // running example: WiFi receivers vs. access points, Figure 1).
+    let providers = vec![
+        (Point::new(200.0, 300.0), 3), // q1, capacity 3
+        (Point::new(500.0, 500.0), 5), // q2, capacity 5
+        (Point::new(800.0, 250.0), 3), // q3, capacity 3
+    ];
+
+    // Twelve receivers scattered around them.
+    let customers = vec![
+        Point::new(120.0, 80.0),  // p1 — far from everyone
+        Point::new(210.0, 310.0), // p2..p4 near q1
+        Point::new(190.0, 280.0),
+        Point::new(230.0, 330.0),
+        Point::new(480.0, 520.0), // p5..p9 near q2
+        Point::new(520.0, 480.0),
+        Point::new(510.0, 530.0),
+        Point::new(460.0, 470.0),
+        Point::new(540.0, 510.0),
+        Point::new(790.0, 260.0), // p10..p12 near q3
+        Point::new(820.0, 240.0),
+        Point::new(780.0, 230.0),
+    ];
+
+    let instance = SpatialAssignment::build(providers, customers);
+    println!(
+        "instance: |Q| = {}, |P| = {}, gamma = {}",
+        instance.providers().len(),
+        instance.customers().len(),
+        instance.gamma()
+    );
+
+    // IDA is the paper's best exact algorithm (§5.2).
+    let result = instance.run(Algorithm::Ida);
+    result.validate().expect("matching must be valid");
+
+    println!("optimal assignment cost Ψ(M) = {:.2}", result.cost());
+    println!("subgraph edges |Esub|      = {}", result.stats.esub_edges);
+    println!("page faults                = {}", result.stats.io.faults);
+    let mut pairs = result.matching.pairs.clone();
+    pairs.sort_by_key(|p| (p.provider, p.customer));
+    for p in &pairs {
+        println!(
+            "  provider q{} <- customer p{} (distance {:.1})",
+            p.provider + 1,
+            p.customer + 1,
+            p.dist
+        );
+    }
+
+    // Capacity totals 11 < 12 customers: exactly one receiver (the remote
+    // p1) stays unserved, as in Figure 1 of the paper.
+    let assigned: Vec<u64> = pairs.iter().map(|p| p.customer).collect();
+    let unserved: Vec<u64> = (0..12).filter(|c| !assigned.contains(c)).collect();
+    println!("unserved customers: {unserved:?}");
+}

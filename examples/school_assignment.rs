@@ -1,0 +1,108 @@
+//! School assignment: the paper's motivating municipal scenario (§1).
+//!
+//! "The municipality could assign children to schools (with certain capacity
+//! each) such that the average traveling distance of children to their
+//! schools is minimized."
+//!
+//! This example generates a clustered city on a synthetic road network,
+//! compares the optimal CCA assignment (IDA) against the naive
+//! nearest-school policy, and shows why the naive policy is infeasible.
+//!
+//! Run with: `cargo run --release --example school_assignment`
+
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::geo::Point;
+use cca::{Algorithm, SpatialAssignment};
+
+fn main() {
+    // 12 schools with 260 seats each; 3000 children, both clustered (dense
+    // neighbourhoods plus suburban sprawl, 80/20 as in the paper's §5.1).
+    let cfg = WorkloadConfig {
+        num_providers: 12,
+        num_customers: 3000,
+        capacity: CapacitySpec::Fixed(260),
+        q_dist: SpatialDistribution::Clustered,
+        p_dist: SpatialDistribution::Clustered,
+        seed: 42,
+    };
+    let w = cfg.generate();
+    let instance = SpatialAssignment::build(w.providers.clone(), w.customers.clone());
+    println!(
+        "city: {} schools x 260 seats, {} children (gamma = {})",
+        w.providers.len(),
+        w.customers.len(),
+        instance.gamma()
+    );
+
+    // --- naive policy: every child to the nearest school -----------------
+    let mut naive_load = vec![0u32; w.providers.len()];
+    let mut naive_cost = 0.0;
+    for &child in &w.customers {
+        let (best, d) = w
+            .providers
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, _))| (i, s.dist(&child)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one school");
+        naive_load[best] += 1;
+        naive_cost += d;
+    }
+    let overfull: Vec<(usize, u32)> = naive_load
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l > 260)
+        .map(|(i, &l)| (i, l))
+        .collect();
+    println!("\nnearest-school policy (the Voronoi assignment of Figure 1):");
+    println!("  total distance        = {:.0}", naive_cost);
+    println!(
+        "  schools over capacity = {} of {} {:?}",
+        overfull.len(),
+        w.providers.len(),
+        overfull
+    );
+    println!("  => infeasible: capacities are violated");
+
+    // --- optimal CCA ------------------------------------------------------
+    let result = instance.run(Algorithm::Ida);
+    result.validate().expect("CCA matching is valid");
+    println!("\noptimal CCA (IDA):");
+    println!("  total distance        = {:.0}", result.cost());
+    println!("  matched children      = {}", result.matching.size());
+    let load = result.matching.provider_load(w.providers.len());
+    println!("  max school load       = {} (cap 260)", load.iter().max().unwrap());
+    println!(
+        "  mean walk per child   = {:.1} map units",
+        result.cost() / result.matching.size() as f64
+    );
+    println!(
+        "  |Esub| explored       = {} (complete graph would be {})",
+        result.stats.esub_edges,
+        w.providers.len() * w.customers.len()
+    );
+
+    // --- how much does feasibility cost? ----------------------------------
+    // The optimal feasible cost is necessarily >= the infeasible lower
+    // bound; the gap is the price of respecting seat counts.
+    let price = result.cost() / naive_cost;
+    println!("\nprice of capacity constraints: {price:.3}x the (infeasible) Voronoi cost");
+
+    // Children that travel farthest under the optimal plan — the ones a
+    // planner would inspect first.
+    let mut pairs = result.matching.pairs.clone();
+    pairs.sort_by(|a, b| b.dist.total_cmp(&a.dist));
+    println!("\nlongest five commutes:");
+    for p in pairs.iter().take(5) {
+        println!(
+            "  child at {} -> school q{} ({:.1} units)",
+            fmt_point(p.customer_pos),
+            p.provider,
+            p.dist
+        );
+    }
+}
+
+fn fmt_point(p: Point) -> String {
+    format!("({:.0}, {:.0})", p.x, p.y)
+}

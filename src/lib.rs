@@ -1,0 +1,229 @@
+//! # cca — Capacity Constrained Assignment in Spatial Databases
+//!
+//! A Rust reproduction of U, Yiu, Mouratidis & Mamoulis, *"Capacity
+//! Constrained Assignment in Spatial Databases"*, SIGMOD 2008.
+//!
+//! Given a large, disk-resident customer set `P` and a small provider set
+//! `Q` where each provider `q` serves at most `q.k` customers, CCA computes
+//! the maximum-size matching minimising the total Euclidean distance
+//! (Equation 1 of the paper). This crate bundles the whole workspace behind
+//! one façade:
+//!
+//! ```
+//! use cca::{Algorithm, SpatialAssignment};
+//! use cca::geo::Point;
+//!
+//! let providers = vec![
+//!     (Point::new(10.0, 10.0), 2), // a provider with capacity 2
+//!     (Point::new(90.0, 90.0), 1),
+//! ];
+//! let customers = vec![
+//!     Point::new(12.0, 11.0),
+//!     Point::new(8.0, 9.0),
+//!     Point::new(88.0, 91.0),
+//! ];
+//! let instance = SpatialAssignment::build(providers, customers);
+//! let result = instance.run(Algorithm::Ida);
+//! assert_eq!(result.matching.size(), 3);
+//! result.validate().unwrap();
+//! ```
+//!
+//! Sub-crates (re-exported below): [`geo`] geometry, [`storage`] the paged
+//! disk + LRU buffer, [`rtree`] the spatial index, [`flow`] the min-cost-flow
+//! substrate, [`core`] the CCA algorithms, [`datagen`] the workload
+//! generator reproducing the paper's data protocol.
+
+pub use cca_core as core;
+pub use cca_datagen as datagen;
+pub use cca_flow as flow;
+pub use cca_geo as geo;
+pub use cca_rtree as rtree;
+pub use cca_storage as storage;
+
+use cca_core::exact::{ida, nia, ria, IdaConfig, NiaConfig, RiaConfig, RtreeSource};
+use cca_core::{approx, AlgoStats, Matching, RefineMethod};
+use cca_flow::sspa::{solve_complete_bipartite, unit_customers, FlowProvider};
+use cca_geo::Point;
+use cca_rtree::RTree;
+use cca_storage::PageStore;
+
+/// Algorithm selector for [`SpatialAssignment::run`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// Full-graph SSPA baseline (§2.2) — exact, memory-hungry, slow.
+    Sspa,
+    /// Range Incremental Algorithm (§3.1) — exact.
+    Ria { theta: f64 },
+    /// Nearest Neighbor Incremental Algorithm (§3.2) — exact.
+    Nia,
+    /// Incremental On-demand Algorithm (§3.3) — exact; the paper's best.
+    Ida,
+    /// IDA with the grouped-ANN I/O optimisation (§3.4.2).
+    IdaGrouped { group_size: usize },
+    /// Service-provider approximation (§4.1), error ≤ 2γδ.
+    Sa { delta: f64, refine: RefineMethod },
+    /// Customer approximation (§4.2), error ≤ γδ; the paper's recommended
+    /// approximate method.
+    Ca { delta: f64, refine: RefineMethod },
+}
+
+impl Algorithm {
+    /// Chart label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::Sspa => "SSPA".into(),
+            Algorithm::Ria { .. } => "RIA".into(),
+            Algorithm::Nia => "NIA".into(),
+            Algorithm::Ida | Algorithm::IdaGrouped { .. } => "IDA".into(),
+            Algorithm::Sa { refine, .. } => format!("SA{}", refine.suffix()),
+            Algorithm::Ca { refine, .. } => format!("CA{}", refine.suffix()),
+        }
+    }
+}
+
+/// The result of one algorithm run: the matching plus the measurements the
+/// paper reports (|Esub|, CPU time, charged I/O time).
+pub struct RunResult<'a> {
+    pub matching: Matching,
+    pub stats: AlgoStats,
+    instance: &'a SpatialAssignment,
+}
+
+impl RunResult<'_> {
+    /// Assignment cost `Ψ(M)`.
+    pub fn cost(&self) -> f64 {
+        self.matching.cost()
+    }
+
+    /// Validates the matching against the instance.
+    pub fn validate(&self) -> Result<(), String> {
+        self.matching
+            .validate_unit(&self.instance.providers, &self.instance.customers)
+    }
+}
+
+/// A CCA instance: providers in memory, customers behind a paged R-tree —
+/// the storage layout the paper assumes (§3).
+pub struct SpatialAssignment {
+    providers: Vec<(Point, u32)>,
+    customers: Vec<Point>,
+    tree: RTree,
+}
+
+impl SpatialAssignment {
+    /// Builds the instance with the paper's storage settings: 1 KB pages and
+    /// an LRU buffer sized at 1 % of the R-tree (§5.1).
+    pub fn build(providers: Vec<(Point, u32)>, customers: Vec<Point>) -> Self {
+        Self::build_with_storage(providers, customers, 1024, 1.0)
+    }
+
+    /// Builds with explicit page size (bytes) and buffer percentage.
+    pub fn build_with_storage(
+        providers: Vec<(Point, u32)>,
+        customers: Vec<Point>,
+        page_size: usize,
+        buffer_percent: f64,
+    ) -> Self {
+        let items: Vec<(Point, u64)> = customers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u64))
+            .collect();
+        // Generous provisional buffer during construction; finish_build
+        // shrinks it to the experiment setting.
+        let store = PageStore::with_config(page_size, 1 << 14);
+        let tree = RTree::bulk_load(store, &items);
+        tree.finish_build(buffer_percent);
+        SpatialAssignment {
+            providers,
+            customers,
+            tree,
+        }
+    }
+
+    /// Providers (position, capacity).
+    pub fn providers(&self) -> &[(Point, u32)] {
+        &self.providers
+    }
+
+    /// Customer positions; ids are indices into this slice.
+    pub fn customers(&self) -> &[Point] {
+        &self.customers
+    }
+
+    /// The underlying R-tree (for I/O statistics and direct queries).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// `γ = min(|P|, Σ q.k)` — the size every maximal matching must reach.
+    pub fn gamma(&self) -> u64 {
+        let cap: u64 = self.providers.iter().map(|&(_, k)| u64::from(k)).sum();
+        cap.min(self.customers.len() as u64)
+    }
+
+    /// Runs `algorithm` from a cold buffer cache and returns the matching
+    /// with CPU and charged-I/O statistics.
+    pub fn run(&self, algorithm: Algorithm) -> RunResult<'_> {
+        self.tree.store().clear_cache();
+        self.tree.store().reset_stats();
+        let qpos: Vec<Point> = self.providers.iter().map(|&(p, _)| p).collect();
+        let (matching, mut stats) = match algorithm {
+            Algorithm::Sspa => {
+                let fps: Vec<FlowProvider> = self
+                    .providers
+                    .iter()
+                    .map(|&(pos, cap)| FlowProvider { pos, cap })
+                    .collect();
+                let start = std::time::Instant::now();
+                let (asg, sspa_stats) = solve_complete_bipartite(&fps, &unit_customers(&self.customers));
+                let mut stats = AlgoStats {
+                    esub_edges: sspa_stats.edges,
+                    iterations: sspa_stats.iterations,
+                    ..Default::default()
+                };
+                stats.cpu_time = start.elapsed();
+                let pairs = asg
+                    .pairs
+                    .iter()
+                    .map(|&(qi, pj, units)| cca_core::MatchPair {
+                        provider: qi,
+                        customer: pj as u64,
+                        units,
+                        dist: self.providers[qi].0.dist(&self.customers[pj]),
+                        customer_pos: self.customers[pj],
+                    })
+                    .collect();
+                (Matching { pairs }, stats)
+            }
+            Algorithm::Ria { theta } => {
+                let mut src = RtreeSource::new(&self.tree, qpos);
+                ria(&self.providers, &mut src, &RiaConfig { theta })
+            }
+            Algorithm::Nia => {
+                let mut src = RtreeSource::new(&self.tree, qpos);
+                nia(&self.providers, &mut src, &NiaConfig::default())
+            }
+            Algorithm::Ida => {
+                let mut src = RtreeSource::new(&self.tree, qpos);
+                ida(&self.providers, &mut src, &IdaConfig::default())
+            }
+            Algorithm::IdaGrouped { group_size } => {
+                let mut src = RtreeSource::with_ann_groups(&self.tree, qpos, group_size);
+                ida(&self.providers, &mut src, &IdaConfig::default())
+            }
+            Algorithm::Sa { delta, refine } => {
+                approx::sa(&self.providers, &self.tree, &approx::SaConfig { delta, refine })
+            }
+            Algorithm::Ca { delta, refine } => {
+                approx::ca(&self.providers, &self.tree, &approx::CaConfig { delta, refine })
+            }
+        };
+        stats.io = self.tree.io_stats();
+        RunResult {
+            matching,
+            stats,
+            instance: self,
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end integration tests spanning every crate: generated workloads →
+//! R-tree construction → exact and approximate CCA → validation against the
+//! independent flow-solver oracle.
+
+use cca::core::{ca_error_bound, sa_error_bound, RefineMethod};
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::flow::sspa::{solve_complete_bipartite, unit_customers, FlowProvider};
+use cca::{Algorithm, SpatialAssignment};
+
+fn workload(nq: usize, np: usize, k: u32, seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        num_providers: nq,
+        num_customers: np,
+        capacity: CapacitySpec::Fixed(k),
+        q_dist: SpatialDistribution::Clustered,
+        p_dist: SpatialDistribution::Clustered,
+        seed,
+    }
+}
+
+fn oracle_cost(instance: &SpatialAssignment) -> f64 {
+    let fps: Vec<FlowProvider> = instance
+        .providers()
+        .iter()
+        .map(|&(pos, cap)| FlowProvider { pos, cap })
+        .collect();
+    solve_complete_bipartite(&fps, &unit_customers(instance.customers()))
+        .0
+        .cost
+}
+
+#[test]
+fn all_exact_algorithms_agree_on_generated_workload() {
+    let w = workload(15, 600, 25, 101).generate();
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    let want = oracle_cost(&instance);
+
+    for algo in [
+        Algorithm::Ria { theta: 5.0 },
+        Algorithm::Nia,
+        Algorithm::Ida,
+        Algorithm::IdaGrouped { group_size: 4 },
+        Algorithm::Sspa,
+    ] {
+        let r = instance.run(algo);
+        r.validate().unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        assert!(
+            (r.cost() - want).abs() < 1e-6,
+            "{algo:?}: cost {} vs oracle {want}",
+            r.cost()
+        );
+    }
+}
+
+#[test]
+fn approximations_bounded_on_generated_workload() {
+    let w = workload(20, 900, 30, 102).generate();
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    let want = oracle_cost(&instance);
+    let gamma = instance.gamma();
+
+    for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
+        let sa = instance.run(Algorithm::Sa { delta: 40.0, refine });
+        sa.validate().unwrap();
+        assert!(sa.cost() - want <= sa_error_bound(gamma, 40.0) + 1e-6);
+        assert!(sa.cost() + 1e-6 >= want, "approximation cannot beat optimum");
+
+        let ca = instance.run(Algorithm::Ca { delta: 10.0, refine });
+        ca.validate().unwrap();
+        assert!(ca.cost() - want <= ca_error_bound(gamma, 10.0) + 1e-6);
+        assert!(ca.cost() + 1e-6 >= want);
+    }
+}
+
+#[test]
+fn ca_is_near_optimal_at_paper_default_delta() {
+    // §5.3: "CA with as small δ as 10 achieves great performance improvement
+    // over IDA, while producing a matching only marginally worse than the
+    // optimal" — we assert a generous 25% ceiling (the paper reports ~12%).
+    let w = workload(25, 1200, 40, 103).generate();
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    let exact = instance.run(Algorithm::Ida);
+    let approx = instance.run(Algorithm::Ca {
+        delta: 10.0,
+        refine: RefineMethod::NnBased,
+    });
+    let quality = approx.cost() / exact.cost();
+    assert!(
+        (1.0..1.25).contains(&quality),
+        "CA quality ratio {quality} out of expected band"
+    );
+}
+
+#[test]
+fn mixed_capacities_stay_exact() {
+    let cfg = WorkloadConfig {
+        num_providers: 12,
+        num_customers: 500,
+        capacity: CapacitySpec::Mixed { lo: 10, hi: 40 },
+        q_dist: SpatialDistribution::Uniform,
+        p_dist: SpatialDistribution::Clustered,
+        seed: 104,
+    };
+    let w = cfg.generate();
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    let want = oracle_cost(&instance);
+    let r = instance.run(Algorithm::Ida);
+    r.validate().unwrap();
+    assert!((r.cost() - want).abs() < 1e-6);
+}
+
+#[test]
+fn cross_distribution_instances_stay_exact() {
+    for (qd, pd) in [
+        (SpatialDistribution::Uniform, SpatialDistribution::Clustered),
+        (SpatialDistribution::Clustered, SpatialDistribution::Uniform),
+    ] {
+        let cfg = WorkloadConfig {
+            num_providers: 10,
+            num_customers: 400,
+            capacity: CapacitySpec::Fixed(30),
+            q_dist: qd,
+            p_dist: pd,
+            seed: 105,
+        };
+        let w = cfg.generate();
+        let instance = SpatialAssignment::build(w.providers, w.customers);
+        let want = oracle_cost(&instance);
+        for algo in [Algorithm::Ida, Algorithm::Nia, Algorithm::Ria { theta: 10.0 }] {
+            let r = instance.run(algo);
+            assert!(
+                (r.cost() - want).abs() < 1e-6,
+                "{qd:?} vs {pd:?}, {algo:?}: {} vs {want}",
+                r.cost()
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_everything() {
+    let make = || {
+        let w = workload(8, 300, 20, 106).generate();
+        let instance = SpatialAssignment::build(w.providers, w.customers);
+        let r = instance.run(Algorithm::Ida);
+        (r.cost(), r.stats.esub_edges, r.stats.io.faults, r.matching.size())
+    };
+    assert_eq!(make(), make(), "runs must be bit-reproducible per seed");
+}
+
+#[test]
+fn esub_is_a_small_fraction_of_the_complete_graph() {
+    // The core claim of §3: the incremental algorithms materialise a small
+    // subgraph. On the default-shaped workload IDA should explore well under
+    // 20% of |Q|x|P|.
+    let w = workload(20, 2000, 80, 107).generate();
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    let r = instance.run(Algorithm::Ida);
+    let full = (instance.providers().len() * instance.customers().len()) as u64;
+    assert!(
+        r.stats.esub_edges * 5 < full,
+        "|Esub| = {} vs full {full}",
+        r.stats.esub_edges
+    );
+}
+
+#[test]
+fn grouped_ann_reduces_page_faults() {
+    let w = workload(30, 5000, 100, 108).generate();
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    let plain = instance.run(Algorithm::Ida);
+    let grouped = instance.run(Algorithm::IdaGrouped { group_size: 8 });
+    assert!(
+        (plain.cost() - grouped.cost()).abs() < 1e-6,
+        "grouping must not change the result"
+    );
+    assert!(
+        grouped.stats.io.faults <= plain.stats.io.faults,
+        "grouped ANN {} faults vs plain {}",
+        grouped.stats.io.faults,
+        plain.stats.io.faults
+    );
+}
+
+#[test]
+fn gamma_bounded_by_both_sides() {
+    let w = workload(5, 100, 10, 109).generate(); // Σk = 50 < |P| = 100
+    let instance = SpatialAssignment::build(w.providers.clone(), w.customers.clone());
+    assert_eq!(instance.gamma(), 50);
+    let r = instance.run(Algorithm::Ida);
+    assert_eq!(r.matching.size(), 50);
+
+    let w = workload(5, 20, 10, 110).generate(); // Σk = 50 > |P| = 20
+    let instance = SpatialAssignment::build(w.providers, w.customers);
+    assert_eq!(instance.gamma(), 20);
+    let r = instance.run(Algorithm::Ida);
+    assert_eq!(r.matching.size(), 20);
+}

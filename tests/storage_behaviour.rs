@@ -1,0 +1,101 @@
+//! Integration tests for the storage model: the paper's I/O accounting must
+//! behave like a real buffered disk (cold/warm effects, buffer-size
+//! sensitivity), because total time in the evaluation is dominated by
+//! charged I/O.
+
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::{Algorithm, SpatialAssignment};
+
+fn build(seed: u64, buffer_percent: f64) -> SpatialAssignment {
+    let cfg = WorkloadConfig {
+        num_providers: 20,
+        num_customers: 4000,
+        capacity: CapacitySpec::Fixed(60),
+        q_dist: SpatialDistribution::Clustered,
+        p_dist: SpatialDistribution::Clustered,
+        seed,
+    };
+    let w = cfg.generate();
+    SpatialAssignment::build_with_storage(w.providers, w.customers, 1024, buffer_percent)
+}
+
+#[test]
+fn larger_buffer_means_fewer_faults() {
+    let small = build(200, 1.0);
+    let large = build(200, 50.0);
+    let r_small = small.run(Algorithm::Ida);
+    let r_large = large.run(Algorithm::Ida);
+    assert!(
+        (r_small.cost() - r_large.cost()).abs() < 1e-6,
+        "buffer size must not affect the matching"
+    );
+    assert!(
+        r_large.stats.io.faults < r_small.stats.io.faults,
+        "50% buffer {} faults vs 1% buffer {}",
+        r_large.stats.io.faults,
+        r_small.stats.io.faults
+    );
+}
+
+#[test]
+fn charged_io_time_follows_fault_count() {
+    let instance = build(201, 1.0);
+    let r = instance.run(Algorithm::Ida);
+    let expect_ms = r.stats.io.faults as f64 * 10.0;
+    assert!((r.stats.io.charged_io_time_ms() - expect_ms).abs() < 1e-9);
+    assert!(r.stats.total_time_s() >= r.stats.io_time_s());
+}
+
+#[test]
+fn runs_start_cold_every_time() {
+    let instance = build(202, 1.0);
+    let a = instance.run(Algorithm::Ida);
+    let b = instance.run(Algorithm::Ida);
+    assert_eq!(
+        a.stats.io.faults, b.stats.io.faults,
+        "run() must cold-start the cache for fair comparisons"
+    );
+}
+
+#[test]
+fn page_size_changes_fanout_but_not_results() {
+    let cfg = WorkloadConfig {
+        num_providers: 10,
+        num_customers: 1500,
+        capacity: CapacitySpec::Fixed(30),
+        q_dist: SpatialDistribution::Uniform,
+        p_dist: SpatialDistribution::Uniform,
+        seed: 203,
+    };
+    let w = cfg.generate();
+    let small_pages =
+        SpatialAssignment::build_with_storage(w.providers.clone(), w.customers.clone(), 512, 1.0);
+    let large_pages =
+        SpatialAssignment::build_with_storage(w.providers.clone(), w.customers.clone(), 4096, 1.0);
+    let rs = small_pages.run(Algorithm::Ida);
+    let rl = large_pages.run(Algorithm::Ida);
+    assert!((rs.cost() - rl.cost()).abs() < 1e-6);
+    assert!(
+        small_pages.tree().store().num_pages() > large_pages.tree().store().num_pages(),
+        "smaller pages need more of them"
+    );
+}
+
+#[test]
+fn approximations_do_less_io_than_exact() {
+    use cca::core::RefineMethod;
+    let instance = build(204, 1.0);
+    let exact = instance.run(Algorithm::Ida);
+    let ca = instance.run(Algorithm::Ca {
+        delta: 10.0,
+        refine: RefineMethod::NnBased,
+    });
+    // CA reads the tree once to partition it; IDA performs per-iteration NN
+    // I/O. On a clustered 4K-point instance CA must not fault more.
+    assert!(
+        ca.stats.io.faults <= exact.stats.io.faults,
+        "CA {} faults vs IDA {}",
+        ca.stats.io.faults,
+        exact.stats.io.faults
+    );
+}
