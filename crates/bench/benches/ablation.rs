@@ -11,7 +11,7 @@
 use cca::core::exact::{ida, nia, ria, IdaConfig, IdaKeyMode, NiaConfig, RiaConfig, RtreeSource};
 use cca::datagen::CapacitySpec;
 use cca::geo::Point;
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{build_instance, default_config, header, measure, print_exact_table, Row, Scale};
 
 fn main() {
@@ -107,11 +107,11 @@ fn main() {
 
     println!("\n-- grouped ANN (group size sweep; 1 = plain cursors) ------------");
     rows.clear();
-    rows.push(measure(&instance, Algorithm::Ida, "g=1"));
+    rows.push(measure(&instance, &SolverConfig::new("ida"), "g=1"));
     for g in [4usize, 8, 16, 32] {
         rows.push(measure(
             &instance,
-            Algorithm::IdaGrouped { group_size: g },
+            &SolverConfig::new("ida-grouped").group_size(g),
             format!("g={g}"),
         ));
     }
@@ -121,7 +121,11 @@ fn main() {
     rows.clear();
     for pages in [4usize, 16, 64, 256] {
         instance.tree().store().set_buffer_capacity(pages);
-        rows.push(measure(&instance, Algorithm::Ida, format!("{pages}p")));
+        rows.push(measure(
+            &instance,
+            &SolverConfig::new("ida"),
+            format!("{pages}p"),
+        ));
     }
     print_exact_table(&rows);
     // Restore the experiment setting.

@@ -5,7 +5,7 @@
 //! than SSPA" (§5.2).
 
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{build_instance, header, measure, print_exact_table, shape_check, Scale, K_RANGE};
 
 fn main() {
@@ -29,15 +29,13 @@ fn main() {
             seed: 2008,
         };
         let instance = build_instance(&cfg);
-        for algo in [
-            Algorithm::Sspa,
-            Algorithm::Ria {
-                theta: scale.tuned_theta(),
-            },
-            Algorithm::Nia,
-            Algorithm::Ida,
+        for config in [
+            SolverConfig::new("sspa"),
+            SolverConfig::new("ria").theta(scale.tuned_theta()),
+            SolverConfig::new("nia"),
+            SolverConfig::new("ida"),
         ] {
-            rows.push(measure(&instance, algo, k));
+            rows.push(measure(&instance, &config, k));
         }
     }
     print_exact_table(&rows);

@@ -5,12 +5,11 @@
 //! complete bipartite graph; IDA explores the fewest edges while
 //! `k·|Q| < |P|`; I/O follows |Esub|; total cost rises with k.
 
-use cca::Algorithm;
-use cca_bench::{
-    build_instance, default_config, header, measure, print_exact_table, shape_check, Scale,
-    K_RANGE,
-};
 use cca::datagen::CapacitySpec;
+use cca::SolverConfig;
+use cca_bench::{
+    build_instance, default_config, header, measure, print_exact_table, shape_check, Scale, K_RANGE,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -35,14 +34,12 @@ fn main() {
             ..base.clone()
         };
         let instance = build_instance(&cfg);
-        for algo in [
-            Algorithm::Ria {
-                theta: scale.tuned_theta(),
-            },
-            Algorithm::Nia,
-            Algorithm::Ida,
+        for config in [
+            SolverConfig::new("ria").theta(scale.tuned_theta()),
+            SolverConfig::new("nia"),
+            SolverConfig::new("ida"),
         ] {
-            rows.push(measure(&instance, algo, k));
+            rows.push(measure(&instance, &config, k));
         }
     }
     print_exact_table(&rows);
@@ -50,7 +47,11 @@ fn main() {
     let full = (base.num_providers * base.num_customers) as u64;
     for k in K_RANGE {
         let kstr = k.to_string();
-        let get = |name: &str| rows.iter().find(|r| r.series == name && r.x == kstr).unwrap();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.series == name && r.x == kstr)
+                .unwrap()
+        };
         shape_check(
             &format!("k={k}: every |Esub| is a fragment of the full graph"),
             get("RIA").esub < full && get("NIA").esub < full && get("IDA").esub < full,
@@ -63,8 +64,14 @@ fn main() {
     // IDA's pruning is strongest when k|Q| < |P| (§5.2).
     let ratio = |k: u32| {
         let kstr = k.to_string();
-        let nia = rows.iter().find(|r| r.series == "NIA" && r.x == kstr).unwrap();
-        let ida = rows.iter().find(|r| r.series == "IDA" && r.x == kstr).unwrap();
+        let nia = rows
+            .iter()
+            .find(|r| r.series == "NIA" && r.x == kstr)
+            .unwrap();
+        let ida = rows
+            .iter()
+            .find(|r| r.series == "IDA" && r.x == kstr)
+            .unwrap();
         nia.esub as f64 / ida.esub as f64
     };
     shape_check(

@@ -5,7 +5,7 @@
 //! mean closer NNs and an easier problem.
 
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{build_instance, header, measure, print_exact_table, shape_check, Scale};
 
 fn main() {
@@ -32,14 +32,12 @@ fn main() {
             seed: 2008,
         };
         let instance = build_instance(&cfg);
-        for algo in [
-            Algorithm::Ria {
-                theta: scale.tuned_theta(),
-            },
-            Algorithm::Nia,
-            Algorithm::Ida,
+        for config in [
+            SolverConfig::new("ria").theta(scale.tuned_theta()),
+            SolverConfig::new("nia"),
+            SolverConfig::new("ida"),
         ] {
-            rows.push(measure(&instance, algo, np));
+            rows.push(measure(&instance, &config, np));
         }
     }
     print_exact_table(&rows);

@@ -5,7 +5,7 @@
 //! our pruning techniques" — the results mirror Figure 9.
 
 use cca::datagen::CapacitySpec;
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{
     build_instance, default_config, header, measure, print_exact_table, shape_check, Scale,
     MIXED_K_RANGES,
@@ -31,14 +31,12 @@ fn main() {
         };
         let instance = build_instance(&cfg);
         let label = format!("{lo}~{hi}");
-        for algo in [
-            Algorithm::Ria {
-                theta: scale.tuned_theta(),
-            },
-            Algorithm::Nia,
-            Algorithm::Ida,
+        for config in [
+            SolverConfig::new("ria").theta(scale.tuned_theta()),
+            SolverConfig::new("nia"),
+            SolverConfig::new("ida"),
         ] {
-            rows.push(measure(&instance, algo, label.clone()));
+            rows.push(measure(&instance, &config, label.clone()));
         }
     }
     print_exact_table(&rows);

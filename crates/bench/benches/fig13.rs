@@ -6,7 +6,7 @@
 //! RIA there (its one-by-one edge retrieval is invoked very many times).
 
 use cca::datagen::{CapacitySpec, WorkloadConfig};
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{
     build_instance, header, measure, print_exact_table, shape_check, Scale, DIST_COMBOS,
 };
@@ -37,14 +37,12 @@ fn main() {
         };
         let instance = build_instance(&cfg);
         let label = format!("{}vs{}", qd.label(), pd.label());
-        for algo in [
-            Algorithm::Ria {
-                theta: eff.tuned_theta(),
-            },
-            Algorithm::Nia,
-            Algorithm::Ida,
+        for config in [
+            SolverConfig::new("ria").theta(eff.tuned_theta()),
+            SolverConfig::new("nia"),
+            SolverConfig::new("ida"),
         ] {
-            rows.push(measure(&instance, algo, label.clone()));
+            rows.push(measure(&instance, &config, label.clone()));
         }
     }
     print_exact_table(&rows);

@@ -6,7 +6,7 @@
 //! accuracy and cost both drop as δ grows.
 
 use cca::core::RefineMethod;
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{
     build_instance, default_config, header, measure, print_approx_table, print_exact_table,
     shape_check, Scale, DELTA_RANGE,
@@ -25,15 +25,23 @@ fn main() {
     );
 
     let instance = build_instance(&base);
-    let exact = measure(&instance, Algorithm::Ida, "ref");
+    let exact = measure(&instance, &SolverConfig::new("ida"), "ref");
     println!("exact reference (IDA):");
     print_exact_table(std::slice::from_ref(&exact));
 
     let mut rows = Vec::new();
     for delta in DELTA_RANGE {
         for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
-            rows.push(measure(&instance, Algorithm::Sa { delta, refine }, delta));
-            rows.push(measure(&instance, Algorithm::Ca { delta, refine }, delta));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("sa").delta(delta).refine(refine),
+                delta,
+            ));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("ca").delta(delta).refine(refine),
+                delta,
+            ));
         }
     }
     print_approx_table(&rows, |_| exact.cost);

@@ -6,7 +6,7 @@
 
 use cca::core::RefineMethod;
 use cca::datagen::CapacitySpec;
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{
     build_instance, default_config, header, measure, print_approx_table, shape_check, Scale,
     K_RANGE,
@@ -32,12 +32,20 @@ fn main() {
             ..base.clone()
         };
         let instance = build_instance(&cfg);
-        let exact = measure(&instance, Algorithm::Ida, k);
+        let exact = measure(&instance, &SolverConfig::new("ida"), k);
         exact_costs.push((k.to_string(), exact.cost));
         rows.push(exact);
         for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
-            rows.push(measure(&instance, Algorithm::Sa { delta: 40.0, refine }, k));
-            rows.push(measure(&instance, Algorithm::Ca { delta: 10.0, refine }, k));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("sa").delta(40.0).refine(refine),
+                k,
+            ));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("ca").delta(10.0).refine(refine),
+                k,
+            ));
         }
     }
     let cost_of = |x: &str| {

@@ -7,7 +7,7 @@
 
 use cca::core::RefineMethod;
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{build_instance, header, measure, print_approx_table, shape_check, Scale};
 
 fn main() {
@@ -35,12 +35,20 @@ fn main() {
             seed: 2008,
         };
         let instance = build_instance(&cfg);
-        let exact = measure(&instance, Algorithm::Ida, nq);
+        let exact = measure(&instance, &SolverConfig::new("ida"), nq);
         exact_costs.push((nq.to_string(), exact.cost));
         rows.push(exact);
         for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
-            rows.push(measure(&instance, Algorithm::Sa { delta: 40.0, refine }, nq));
-            rows.push(measure(&instance, Algorithm::Ca { delta: 10.0, refine }, nq));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("sa").delta(40.0).refine(refine),
+                nq,
+            ));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("ca").delta(10.0).refine(refine),
+                nq,
+            ));
         }
     }
     let cost_of = |x: &str| {

@@ -6,7 +6,7 @@
 
 use cca::core::RefineMethod;
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{build_instance, header, measure, print_approx_table, shape_check, Scale};
 
 fn main() {
@@ -34,12 +34,20 @@ fn main() {
             seed: 2008,
         };
         let instance = build_instance(&cfg);
-        let exact = measure(&instance, Algorithm::Ida, np);
+        let exact = measure(&instance, &SolverConfig::new("ida"), np);
         exact_costs.push((np.to_string(), exact.cost));
         rows.push(exact);
         for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
-            rows.push(measure(&instance, Algorithm::Sa { delta: 40.0, refine }, np));
-            rows.push(measure(&instance, Algorithm::Ca { delta: 10.0, refine }, np));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("sa").delta(40.0).refine(refine),
+                np,
+            ));
+            rows.push(measure(
+                &instance,
+                &SolverConfig::new("ca").delta(10.0).refine(refine),
+                np,
+            ));
         }
     }
     let cost_of = |x: &str| {
@@ -63,7 +71,11 @@ fn main() {
     // k·|Q| = |P| crossover the space around each provider group keeps
     // getting denser, §5.3).
     let crossover = 80 * nq;
-    let post: Vec<usize> = p_values.iter().copied().filter(|&p| p >= crossover).collect();
+    let post: Vec<usize> = p_values
+        .iter()
+        .copied()
+        .filter(|&p| p >= crossover)
+        .collect();
     shape_check(
         "SA's quality degrades as |P| grows past k|Q| = |P|",
         quality("SAN", post[post.len() - 1]) >= quality("SAN", post[0]) - 1e-9,

@@ -8,7 +8,7 @@
 
 use cca::core::RefineMethod;
 use cca::datagen::{CapacitySpec, WorkloadConfig};
-use cca::Algorithm;
+use cca::SolverConfig;
 use cca_bench::{
     build_instance, header, measure, print_approx_table, shape_check, Scale, DIST_COMBOS,
 };
@@ -39,18 +39,18 @@ fn main() {
         };
         let instance = build_instance(&cfg);
         let label = format!("{}vs{}", qd.label(), pd.label());
-        let exact = measure(&instance, Algorithm::Ida, label.clone());
+        let exact = measure(&instance, &SolverConfig::new("ida"), label.clone());
         exact_costs.push((label.clone(), exact.cost));
         rows.push(exact);
         for refine in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
             rows.push(measure(
                 &instance,
-                Algorithm::Sa { delta: 40.0, refine },
+                &SolverConfig::new("sa").delta(40.0).refine(refine),
                 label.clone(),
             ));
             rows.push(measure(
                 &instance,
-                Algorithm::Ca { delta: 10.0, refine },
+                &SolverConfig::new("ca").delta(10.0).refine(refine),
                 label.clone(),
             ));
         }

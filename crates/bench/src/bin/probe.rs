@@ -10,8 +10,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
-    let k: u32 = args.iter().find_map(|a| a.strip_prefix("k=").map(|v| v.parse().unwrap())).unwrap_or(80);
-    let theta: f64 = args.iter().find_map(|a| a.strip_prefix("theta=").map(|v| v.parse().unwrap())).unwrap_or(0.8);
+    let k: u32 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("k=").map(|v| v.parse().unwrap()))
+        .unwrap_or(80);
+    let theta: f64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("theta=").map(|v| v.parse().unwrap()))
+        .unwrap_or(0.8);
     let (nq, np) = (100usize, 10_000usize);
     let cfg = WorkloadConfig {
         num_providers: nq,
@@ -30,42 +36,45 @@ fn main() {
     // levels the paper's 25-page buffer held; floor it (see EXPERIMENTS.md).
     let floor = 16usize;
     let one_pct = (instance.tree().store().num_pages() as f64 / 100.0).ceil() as usize;
-    instance.tree().store().set_buffer_capacity(one_pct.max(floor));
+    instance
+        .tree()
+        .store()
+        .set_buffer_capacity(one_pct.max(floor));
     eprintln!(
         "build: {:?}; |Q|={nq} |P|={np} k={k} gamma={}",
         t0.elapsed(),
         instance.gamma()
     );
-    let algos: Vec<(&str, cca::Algorithm)> = vec![
-        ("ida", cca::Algorithm::Ida),
-        ("idag", cca::Algorithm::IdaGrouped { group_size: 8 }),
-        ("nia", cca::Algorithm::Nia),
-        ("ria", cca::Algorithm::Ria { theta }),
+    let registry = cca::SolverRegistry::with_defaults();
+    let configs: Vec<(&str, cca::SolverConfig)> = vec![
+        ("ida", cca::SolverConfig::new("ida")),
+        ("idag", cca::SolverConfig::new("ida-grouped").group_size(8)),
+        ("nia", cca::SolverConfig::new("nia")),
+        ("ria", cca::SolverConfig::new("ria").theta(theta)),
         (
             "ca",
-            cca::Algorithm::Ca {
-                delta: 10.0,
-                refine: RefineMethod::NnBased,
-            },
+            cca::SolverConfig::new("ca")
+                .delta(10.0)
+                .refine(RefineMethod::NnBased),
         ),
         (
             "sa",
-            cca::Algorithm::Sa {
-                delta: 40.0,
-                refine: RefineMethod::NnBased,
-            },
+            cca::SolverConfig::new("sa")
+                .delta(40.0)
+                .refine(RefineMethod::NnBased),
         ),
     ];
-    for (name, algo) in algos {
+    for (name, config) in configs {
         if !want(name) {
             continue;
         }
+        let solver = registry.build(&config).unwrap_or_else(|e| panic!("{e}"));
         let t0 = Instant::now();
-        let r = instance.run(algo);
+        let r = instance.run_solver(&*solver);
         let wall = t0.elapsed();
         eprintln!(
             "  {:<4} cost={:>12.1} |Esub|={:>9} faults={:>7} iters={:>7} dij={:>7} invalid={:>8} cpu={:>8.2?} wall={wall:?}",
-            algo.label(),
+            solver.label(),
             r.cost(),
             r.stats.esub_edges,
             r.stats.io.faults,

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
-use cca::{Algorithm, SpatialAssignment};
+use cca::{SolverConfig, SolverRegistry, SpatialAssignment};
 
 /// Experiment scale relative to the paper's Table 2 sizes.
 #[derive(Clone, Copy, Debug)]
@@ -96,14 +96,19 @@ impl Row {
     }
 }
 
-/// Runs one algorithm on the instance and collects a row.
-pub fn measure(instance: &SpatialAssignment, algo: Algorithm, x: impl ToString) -> Row {
+/// Runs one solver config on the instance (through the registry-backed
+/// trait pipeline) and collects a row.
+pub fn measure(instance: &SpatialAssignment, config: &SolverConfig, x: impl ToString) -> Row {
+    let solver = SolverRegistry::with_defaults()
+        .build(config)
+        .unwrap_or_else(|e| panic!("{e}"));
     let t0 = Instant::now();
-    let r = instance.run(algo);
+    let r = instance.run_solver(&*solver);
     let wall = t0.elapsed();
-    r.validate().expect("harness runs must produce valid matchings");
+    r.validate()
+        .expect("harness runs must produce valid matchings");
     Row {
-        series: algo.label(),
+        series: solver.label(),
         x: x.to_string(),
         cost: r.cost(),
         esub: r.stats.esub_edges,
@@ -186,7 +191,10 @@ pub const DIST_COMBOS: [(SpatialDistribution, SpatialDistribution); 4] = [
     (SpatialDistribution::Uniform, SpatialDistribution::Uniform),
     (SpatialDistribution::Uniform, SpatialDistribution::Clustered),
     (SpatialDistribution::Clustered, SpatialDistribution::Uniform),
-    (SpatialDistribution::Clustered, SpatialDistribution::Clustered),
+    (
+        SpatialDistribution::Clustered,
+        SpatialDistribution::Clustered,
+    ),
 ];
 
 #[cfg(test)]
@@ -219,7 +227,7 @@ mod tests {
             seed: 1,
         };
         let instance = build_instance(&cfg);
-        let row = measure(&instance, Algorithm::Ida, 10);
+        let row = measure(&instance, &SolverConfig::new("ida"), 10);
         assert_eq!(row.series, "IDA");
         assert_eq!(row.x, "10");
         assert!(row.cost > 0.0);

@@ -51,12 +51,7 @@ pub fn ca(providers: &[(Point, u32)], tree: &RTree, cfg: &CaConfig) -> (Matching
     let base: Vec<CustomerGroup> = tree.partition_by_diagonal(cfg.delta);
 
     // Phase 1b: merge entries into hyper-entries still satisfying δ.
-    let merge = greedy_hilbert_groups(
-        &base,
-        |g| g.mbr.center(),
-        |g| g.mbr,
-        cfg.delta,
-    );
+    let merge = greedy_hilbert_groups(&base, |g| g.mbr.center(), |g| g.mbr, cfg.delta);
     let merged: Vec<MergedGroup> = merge
         .into_iter()
         .map(|idxs| {

@@ -60,12 +60,8 @@ pub struct ProviderGroup {
 
 /// Partitions providers for SA (§4.1) and derives the representatives.
 pub fn partition_providers(providers: &[(Point, u32)], delta: f64) -> Vec<ProviderGroup> {
-    let groups = greedy_hilbert_groups(
-        providers,
-        |&(p, _)| p,
-        |&(p, _)| Rect::from_point(p),
-        delta,
-    );
+    let groups =
+        greedy_hilbert_groups(providers, |&(p, _)| p, |&(p, _)| Rect::from_point(p), delta);
     groups
         .into_iter()
         .map(|members| {
@@ -83,11 +79,9 @@ pub fn partition_providers(providers: &[(Point, u32)], delta: f64) -> Vec<Provid
                 Point::new(x / total, y / total)
             } else {
                 let n = members.len() as f64;
-                let (sx, sy) = members
-                    .iter()
-                    .fold((0.0, 0.0), |(ax, ay), &i| {
-                        (ax + providers[i].0.x, ay + providers[i].0.y)
-                    });
+                let (sx, sy) = members.iter().fold((0.0, 0.0), |(ax, ay), &i| {
+                    (ax + providers[i].0.x, ay + providers[i].0.y)
+                });
                 Point::new(sx / n, sy / n)
             };
             ProviderGroup { members, rep, cap }
@@ -155,10 +149,7 @@ mod tests {
 
     #[test]
     fn capacities_sum_and_centroid_is_weighted() {
-        let providers = vec![
-            (Point::new(0.0, 0.0), 1),
-            (Point::new(10.0, 0.0), 3),
-        ];
+        let providers = vec![(Point::new(0.0, 0.0), 1), (Point::new(10.0, 0.0), 3)];
         let groups = partition_providers(&providers, 100.0);
         assert_eq!(groups.len(), 1);
         let g = &groups[0];

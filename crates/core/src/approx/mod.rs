@@ -16,52 +16,10 @@ pub use sa::{sa, SaConfig};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cca_flow::sspa::{solve_complete_bipartite, unit_customers, FlowProvider};
     use cca_geo::Point;
-    use cca_rtree::RTree;
-    use cca_storage::PageStore;
+    use cca_testutil::{build_tree, gamma, optimal_cost, random_instance};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-
-    fn random_instance(seed: u64, nq: usize, np: usize, max_cap: u32) -> (Vec<(Point, u32)>, Vec<Point>) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let providers: Vec<(Point, u32)> = (0..nq)
-            .map(|_| {
-                (
-                    Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)),
-                    rng.random_range(1..=max_cap),
-                )
-            })
-            .collect();
-        let customers: Vec<Point> = (0..np)
-            .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
-            .collect();
-        (providers, customers)
-    }
-
-    fn optimal_cost(providers: &[(Point, u32)], customers: &[Point]) -> f64 {
-        let fps: Vec<FlowProvider> = providers
-            .iter()
-            .map(|&(pos, cap)| FlowProvider { pos, cap })
-            .collect();
-        solve_complete_bipartite(&fps, &unit_customers(customers)).0.cost
-    }
-
-    fn build_tree(customers: &[Point]) -> RTree {
-        let items: Vec<(Point, u64)> = customers
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as u64))
-            .collect();
-        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
-        tree.finish_build(1.0);
-        tree
-    }
-
-    fn gamma(providers: &[(Point, u32)], customers: &[Point]) -> u64 {
-        let cap: u64 = providers.iter().map(|&(_, k)| u64::from(k)).sum();
-        cap.min(customers.len() as u64)
-    }
 
     #[test]
     fn sa_produces_valid_matchings_within_bound() {
@@ -72,7 +30,14 @@ mod tests {
             let g = gamma(&providers, &customers);
             for method in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
                 for delta in [20.0, 80.0] {
-                    let (m, _) = sa(&providers, &tree, &SaConfig { delta, refine: method });
+                    let (m, _) = sa(
+                        &providers,
+                        &tree,
+                        &SaConfig {
+                            delta,
+                            refine: method,
+                        },
+                    );
                     m.validate_unit(&providers, &customers).unwrap();
                     let err = m.cost() - opt;
                     assert!(err >= -1e-6, "approximation cannot beat the optimum");
@@ -95,7 +60,14 @@ mod tests {
             let g = gamma(&providers, &customers);
             for method in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
                 for delta in [15.0, 60.0] {
-                    let (m, _) = ca(&providers, &tree, &CaConfig { delta, refine: method });
+                    let (m, _) = ca(
+                        &providers,
+                        &tree,
+                        &CaConfig {
+                            delta,
+                            refine: method,
+                        },
+                    );
                     m.validate_unit(&providers, &customers).unwrap();
                     let err = m.cost() - opt;
                     assert!(err >= -1e-6);
@@ -115,7 +87,14 @@ mod tests {
         let tree = build_tree(&customers);
         let opt = optimal_cost(&providers, &customers);
         // δ → 0 makes every group a singleton: SA degenerates to exact CCA.
-        let (m, _) = sa(&providers, &tree, &SaConfig { delta: 1e-9, refine: RefineMethod::NnBased });
+        let (m, _) = sa(
+            &providers,
+            &tree,
+            &SaConfig {
+                delta: 1e-9,
+                refine: RefineMethod::NnBased,
+            },
+        );
         assert!(
             (m.cost() - opt).abs() < 1e-6,
             "singleton SA {} vs optimal {opt}",
@@ -123,8 +102,19 @@ mod tests {
         );
         // CA with tiny δ: groups may still contain exactly coincident
         // points; quality must be essentially optimal on generic data.
-        let (m, _) = ca(&providers, &tree, &CaConfig { delta: 1e-9, refine: RefineMethod::NnBased });
-        assert!((m.cost() - opt).abs() < 1e-6, "singleton CA {} vs {opt}", m.cost());
+        let (m, _) = ca(
+            &providers,
+            &tree,
+            &CaConfig {
+                delta: 1e-9,
+                refine: RefineMethod::NnBased,
+            },
+        );
+        assert!(
+            (m.cost() - opt).abs() < 1e-6,
+            "singleton CA {} vs {opt}",
+            m.cost()
+        );
     }
 
     #[test]
@@ -137,8 +127,22 @@ mod tests {
             let (providers, customers) = random_instance(seed, 10, 100, 6);
             let tree = build_tree(&customers);
             let opt = optimal_cost(&providers, &customers);
-            let (m_small, _) = ca(&providers, &tree, &CaConfig { delta: 15.0, refine: RefineMethod::NnBased });
-            let (m_large, _) = ca(&providers, &tree, &CaConfig { delta: 150.0, refine: RefineMethod::NnBased });
+            let (m_small, _) = ca(
+                &providers,
+                &tree,
+                &CaConfig {
+                    delta: 15.0,
+                    refine: RefineMethod::NnBased,
+                },
+            );
+            let (m_large, _) = ca(
+                &providers,
+                &tree,
+                &CaConfig {
+                    delta: 150.0,
+                    refine: RefineMethod::NnBased,
+                },
+            );
             small_sum += m_small.cost() / opt;
             large_sum += m_large.cost() / opt;
         }
@@ -155,9 +159,23 @@ mod tests {
             let (providers, customers) = random_instance(50, nq, np, cap);
             let tree = build_tree(&customers);
             for method in [RefineMethod::NnBased, RefineMethod::ExclusiveNn] {
-                let (m, _) = sa(&providers, &tree, &SaConfig { delta: 50.0, refine: method });
+                let (m, _) = sa(
+                    &providers,
+                    &tree,
+                    &SaConfig {
+                        delta: 50.0,
+                        refine: method,
+                    },
+                );
                 m.validate_unit(&providers, &customers).unwrap();
-                let (m, _) = ca(&providers, &tree, &CaConfig { delta: 25.0, refine: method });
+                let (m, _) = ca(
+                    &providers,
+                    &tree,
+                    &CaConfig {
+                        delta: 25.0,
+                        refine: method,
+                    },
+                );
                 m.validate_unit(&providers, &customers).unwrap();
             }
         }
@@ -189,7 +207,14 @@ mod tests {
         let tree = build_tree(&customers);
         let opt = optimal_cost(&providers, &customers);
         let g = gamma(&providers, &customers);
-        let (m, _) = ca(&providers, &tree, &CaConfig { delta: 12.0, refine: RefineMethod::ExclusiveNn });
+        let (m, _) = ca(
+            &providers,
+            &tree,
+            &CaConfig {
+                delta: 12.0,
+                refine: RefineMethod::ExclusiveNn,
+            },
+        );
         m.validate_unit(&providers, &customers).unwrap();
         assert!(m.cost() - opt <= ca_error_bound(g, 12.0) + 1e-6);
     }

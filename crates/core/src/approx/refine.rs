@@ -84,7 +84,12 @@ pub fn nn_based(providers: &[RefineProvider], customers: &[(Point, u64)]) -> Vec
             taken[c as usize] = true;
             remaining[qi] -= 1;
             let (pos, id) = customers[c as usize];
-            out.push((providers[qi].original, id, providers[qi].pos.dist(&pos), pos));
+            out.push((
+                providers[qi].original,
+                id,
+                providers[qi].pos.dist(&pos),
+                pos,
+            ));
             if remaining[qi] > 0 {
                 next_active.push(qi);
             }
@@ -140,7 +145,12 @@ pub fn exclusive_nn(providers: &[RefineProvider], customers: &[(Point, u64)]) ->
         }
         taken[c] = true;
         remaining[qi] -= 1;
-        out.push((providers[qi].original, customers[c].1, d.get(), customers[c].0));
+        out.push((
+            providers[qi].original,
+            customers[c].1,
+            d.get(),
+            customers[c].0,
+        ));
     }
     out
 }
@@ -171,11 +181,7 @@ mod tests {
         }
     }
 
-    fn check_valid(
-        providers: &[RefineProvider],
-        customers: &[(Point, u64)],
-        pairs: &[RefinePair],
-    ) {
+    fn check_valid(providers: &[RefineProvider], customers: &[(Point, u64)], pairs: &[RefinePair]) {
         // Quotas respected; customers unique; expected total size.
         let mut per_q = std::collections::HashMap::new();
         let mut seen = std::collections::HashSet::new();

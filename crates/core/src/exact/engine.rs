@@ -11,8 +11,8 @@
 //! * IDA's Theorem-2 fast phase, including the closed-form feasible
 //!   potential installed at phase exit (see `fast_phase` notes below).
 
-use cca_geo::Point;
 use cca_flow::{DijkstraState, FlowGraph, NodeId};
+use cca_geo::Point;
 
 use crate::matching::{MatchPair, Matching};
 use crate::stats::AlgoStats;
@@ -217,7 +217,8 @@ impl Engine {
         }
         let node = self.g.add_node();
         let pt_edge = self.g.add_edge(node, self.t, weight, 0.0);
-        self.edge_kind.push(EdgeKind::CustomerT(self.customers.len() as u32));
+        self.edge_kind
+            .push(EdgeKind::CustomerT(self.customers.len() as u32));
         let c = self.customers.len() as u32;
         self.customers.push(CustomerState {
             id,
@@ -237,9 +238,12 @@ impl Engine {
     pub fn insert_edge(&mut self, qi: usize, id: u64, pos: Point, weight: u32, dist: f64) -> u32 {
         let c = self.ensure_customer(id, pos, weight);
         let cap = weight; // a provider may serve up to `weight` units of a rep
-        let e = self
-            .g
-            .add_edge(self.providers[qi].node, self.customers[c as usize].node, cap, dist);
+        let e = self.g.add_edge(
+            self.providers[qi].node,
+            self.customers[c as usize].node,
+            cap,
+            dist,
+        );
         self.edge_kind.push(EdgeKind::QP);
         self.qp_edges.push(QpRec {
             edge: e,

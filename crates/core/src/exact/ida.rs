@@ -113,13 +113,7 @@ impl IdaHeap {
 
     /// Refills provider `qi` from its NN stream; the key carries the given
     /// α plus the provider's potential lag.
-    fn refill<S: CustomerSource>(
-        &mut self,
-        qi: usize,
-        source: &mut S,
-        alpha: f64,
-        lag: f64,
-    ) {
+    fn refill<S: CustomerSource>(&mut self, qi: usize, source: &mut S, alpha: f64, lag: f64) {
         debug_assert!(self.pending[qi].is_none());
         let next = source.next_nn(qi);
         self.pending[qi] = next;

@@ -16,54 +16,12 @@ pub use source::{CustomerSource, MemorySource, RtreeSource, SourcedCustomer};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cca_flow::sspa::{solve_complete_bipartite, unit_customers, FlowProvider};
+    use cca_flow::sspa::{solve_complete_bipartite, FlowProvider};
     use cca_geo::Point;
-    use cca_rtree::RTree;
-    use cca_storage::PageStore;
+    use cca_testutil::{build_tree, optimal_cost, random_instance};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-
-    fn random_instance(
-        seed: u64,
-        nq: usize,
-        np: usize,
-        max_cap: u32,
-    ) -> (Vec<(Point, u32)>, Vec<Point>) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let providers: Vec<(Point, u32)> = (0..nq)
-            .map(|_| {
-                (
-                    Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)),
-                    rng.random_range(1..=max_cap),
-                )
-            })
-            .collect();
-        let customers: Vec<Point> = (0..np)
-            .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
-            .collect();
-        (providers, customers)
-    }
-
-    fn optimal_cost(providers: &[(Point, u32)], customers: &[Point]) -> f64 {
-        let fps: Vec<FlowProvider> = providers
-            .iter()
-            .map(|&(pos, cap)| FlowProvider { pos, cap })
-            .collect();
-        let (asg, _) = solve_complete_bipartite(&fps, &unit_customers(customers));
-        asg.cost
-    }
-
-    fn build_tree(customers: &[Point]) -> RTree {
-        let items: Vec<(Point, u64)> = customers
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as u64))
-            .collect();
-        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
-        tree.finish_build(1.0);
-        tree
-    }
 
     /// Runs all three exact algorithms on both source kinds and checks that
     /// each yields a valid matching with the optimal cost.

@@ -38,6 +38,27 @@ pub trait CustomerSource {
     fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer>;
 }
 
+/// Forwarding impl so trait objects (`&mut dyn CustomerSource`) satisfy the
+/// generic `ida`/`nia`/`ria` entry points — the [`crate::solver`] pipeline
+/// hands sources around as trait objects.
+impl<T: CustomerSource + ?Sized> CustomerSource for &mut T {
+    fn num_customers(&self) -> usize {
+        (**self).num_customers()
+    }
+
+    fn total_weight(&self) -> u64 {
+        (**self).total_weight()
+    }
+
+    fn next_nn(&mut self, qi: usize) -> Option<SourcedCustomer> {
+        (**self).next_nn(qi)
+    }
+
+    fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer> {
+        (**self).range(qi, lo, hi, include_lo)
+    }
+}
+
 /// Customers indexed by the disk-resident R-tree (the paper's primary
 /// setting). NN streams are either one [`IncNn`] cursor per provider or the
 /// grouped incremental ANN of §3.4.2.
@@ -262,15 +283,16 @@ mod tests {
     #[test]
     fn rtree_source_matches_memory_source_streams() {
         let pts = random_points(500, 5);
-        let items: Vec<(Point, u64)> = pts.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect();
+        let items: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u64))
+            .collect();
         let tree = RTree::bulk_load(PageStore::with_config(1024, 2048), &items);
         let providers = random_points(4, 6);
 
         let mut rt = RtreeSource::new(&tree, providers.clone());
-        let mut mem = MemorySource::new(
-            providers.clone(),
-            pts.iter().map(|&p| (p, 1)).collect(),
-        );
+        let mut mem = MemorySource::new(providers.clone(), pts.iter().map(|&p| (p, 1)).collect());
         for qi in 0..providers.len() {
             for _ in 0..50 {
                 let a = rt.next_nn(qi).unwrap();
@@ -285,7 +307,11 @@ mod tests {
     #[test]
     fn grouped_source_yields_same_distances_as_plain() {
         let pts = random_points(400, 7);
-        let items: Vec<(Point, u64)> = pts.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect();
+        let items: Vec<(Point, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u64))
+            .collect();
         let tree = RTree::bulk_load(PageStore::with_config(1024, 2048), &items);
         let providers = random_points(10, 8);
 
@@ -307,10 +333,7 @@ mod tests {
 
     #[test]
     fn weighted_memory_source_total_weight() {
-        let customers = vec![
-            (Point::new(0.0, 0.0), 3),
-            (Point::new(1.0, 1.0), 5),
-        ];
+        let customers = vec![(Point::new(0.0, 0.0), 3), (Point::new(1.0, 1.0), 5)];
         let src = MemorySource::new(vec![Point::new(0.0, 0.0)], customers);
         assert_eq!(src.total_weight(), 8);
         assert_eq!(src.num_customers(), 2);

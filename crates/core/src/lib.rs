@@ -5,6 +5,8 @@
 //! (disk-resident, R-tree indexed) and providers `Q` with capacities, find
 //! the maximal matching of minimum total Euclidean cost.
 //!
+//! * [`solver`] — the trait-based pipeline: [`Solver`], [`Problem`],
+//!   [`SolverConfig`] and [`SolverRegistry`]; the public entry points.
 //! * [`exact`] — RIA, NIA and IDA (§3) over a shared incremental-SSPA
 //!   engine, with the PUA (§3.4.1) and grouped-ANN (§3.4.2) optimisations.
 //! * `approx` — SA and CA (§4) with NN-based and exclusive-NN refinement and
@@ -15,6 +17,7 @@
 pub mod approx;
 pub mod exact;
 pub mod matching;
+pub mod solver;
 pub mod stats;
 
 pub use approx::{ca, ca_error_bound, sa, sa_error_bound, CaConfig, RefineMethod, SaConfig};
@@ -23,4 +26,5 @@ pub use exact::{
     RtreeSource,
 };
 pub use matching::{MatchPair, Matching};
+pub use solver::{Problem, Solver, SolverConfig, SolverRegistry};
 pub use stats::AlgoStats;

@@ -1,0 +1,200 @@
+//! [`SolverConfig`] — a solver selection as plain data (name + parameters).
+
+use crate::approx::RefineMethod;
+use crate::exact::IdaKeyMode;
+
+/// Data-driven solver selection: a registry name plus every tuning knob any
+/// of the seven algorithms understands. Irrelevant knobs are simply ignored
+/// by the chosen solver, so configs can be stored, compared and shipped
+/// around uniformly (benches, examples and the batch runner all construct
+/// solvers from these).
+///
+/// ```
+/// # use cca_core::solver::SolverConfig;
+/// let cfg = SolverConfig::new("ca").delta(10.0);
+/// assert_eq!(cfg.name(), "ca");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverConfig {
+    name: String,
+    /// RIA range increment θ (§3.1; the paper tunes 0.8 for its default
+    /// workload).
+    pub theta: f64,
+    /// SA/CA group-diagonal budget δ (§4; paper defaults 40 for SA, 10 for
+    /// CA).
+    pub delta: f64,
+    /// SA/CA refinement heuristic (§4.3).
+    pub refine: RefineMethod,
+    /// Grouped-ANN group size (§3.4.2) for `ida-grouped`.
+    pub group_size: usize,
+    /// IDA heap-key mode (Paper vs Safe).
+    pub key_mode: IdaKeyMode,
+    /// Ablation: disable IDA's Theorem-2 fast phase.
+    pub disable_fast_phase: bool,
+    /// Ablation: disable PUA reuse (§3.4.1) in NIA/IDA.
+    pub disable_pua: bool,
+}
+
+impl SolverConfig {
+    /// A config for the solver registered under `name`, with the paper's
+    /// default parameters (δ picks the SA or CA default by name).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let delta = if name == "ca" { 10.0 } else { 40.0 };
+        SolverConfig {
+            name,
+            theta: 0.8,
+            delta,
+            refine: RefineMethod::default(),
+            group_size: 8,
+            key_mode: IdaKeyMode::default(),
+            disable_fast_phase: false,
+            disable_pua: false,
+        }
+    }
+
+    /// The registry name this config selects.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets RIA's range increment θ.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sets SA/CA's group-diagonal budget δ.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the SA/CA refinement heuristic.
+    pub fn refine(mut self, refine: RefineMethod) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Sets the grouped-ANN group size.
+    pub fn group_size(mut self, group_size: usize) -> Self {
+        assert!(group_size >= 1, "group size must be positive");
+        self.group_size = group_size;
+        self
+    }
+
+    /// Sets IDA's heap-key mode.
+    pub fn key_mode(mut self, key_mode: IdaKeyMode) -> Self {
+        self.key_mode = key_mode;
+        self
+    }
+
+    /// Ablation toggle: disable IDA's fast phase.
+    pub fn disable_fast_phase(mut self, disable: bool) -> Self {
+        self.disable_fast_phase = disable;
+        self
+    }
+
+    /// Ablation toggle: disable PUA reuse.
+    pub fn disable_pua(mut self, disable: bool) -> Self {
+        self.disable_pua = disable;
+        self
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::SolverConfig;
+    use crate::approx::RefineMethod;
+    use crate::exact::IdaKeyMode;
+    use serde::{Deserialize, Error, Serialize, Value};
+
+    impl Serialize for SolverConfig {
+        fn to_value(&self) -> Value {
+            Value::map([
+                ("name", Value::Str(self.name.clone())),
+                ("theta", self.theta.to_value()),
+                ("delta", self.delta.to_value()),
+                (
+                    "refine",
+                    Value::Str(
+                        match self.refine {
+                            RefineMethod::NnBased => "nn-based",
+                            RefineMethod::ExclusiveNn => "exclusive-nn",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("group_size", self.group_size.to_value()),
+                (
+                    "key_mode",
+                    Value::Str(
+                        match self.key_mode {
+                            IdaKeyMode::Paper => "paper",
+                            IdaKeyMode::Safe => "safe",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("disable_fast_phase", self.disable_fast_phase.to_value()),
+                ("disable_pua", self.disable_pua.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for SolverConfig {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            let refine = match String::from_value(v.get("refine")?)?.as_str() {
+                "nn-based" => RefineMethod::NnBased,
+                "exclusive-nn" => RefineMethod::ExclusiveNn,
+                other => return Err(Error(format!("unknown refine method `{other}`"))),
+            };
+            let key_mode = match String::from_value(v.get("key_mode")?)?.as_str() {
+                "paper" => IdaKeyMode::Paper,
+                "safe" => IdaKeyMode::Safe,
+                other => return Err(Error(format!("unknown key mode `{other}`"))),
+            };
+            Ok(SolverConfig {
+                name: String::from_value(v.get("name")?)?,
+                theta: f64::from_value(v.get("theta")?)?,
+                delta: f64::from_value(v.get("delta")?)?,
+                refine,
+                group_size: usize::from_value(v.get("group_size")?)?,
+                key_mode,
+                disable_fast_phase: bool::from_value(v.get("disable_fast_phase")?)?,
+                disable_pua: bool::from_value(v.get("disable_pua")?)?,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_defaults() {
+        let cfg = SolverConfig::new("ria").theta(2.5);
+        assert_eq!(cfg.name(), "ria");
+        assert_eq!(cfg.theta, 2.5);
+        assert_eq!(cfg.delta, 40.0, "non-CA default δ");
+        assert_eq!(SolverConfig::new("ca").delta, 10.0, "CA default δ");
+        let cfg = SolverConfig::new("ida")
+            .key_mode(IdaKeyMode::Safe)
+            .disable_pua(true);
+        assert_eq!(cfg.key_mode, IdaKeyMode::Safe);
+        assert!(cfg.disable_pua);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn config_json_roundtrip() {
+        let cfg = SolverConfig::new("sa")
+            .delta(25.0)
+            .refine(RefineMethod::ExclusiveNn)
+            .group_size(4);
+        let json = serde::json::to_string(&cfg);
+        let back: SolverConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,133 @@
+//! The trait-based solver pipeline: every CCA algorithm behind one
+//! interface, constructible from data.
+//!
+//! * [`Problem`] — one query: providers plus customer access (R-tree or
+//!   in-memory slice), built builder-style.
+//! * [`Solver`] — the algorithm interface: `name()`, `label()`, source
+//!   construction and `solve`.
+//! * [`SolverConfig`] — a solver selection as plain data (name + params).
+//! * [`SolverRegistry`] — name → factory, so benches, examples and the
+//!   batch runner enumerate and select algorithms uniformly.
+//!
+//! ```
+//! use cca_core::solver::{Problem, SolverConfig, SolverRegistry};
+//! use cca_geo::Point;
+//!
+//! let providers = vec![(Point::new(0.0, 0.0), 1), (Point::new(9.0, 0.0), 1)];
+//! let customers = vec![Point::new(1.0, 0.0), Point::new(8.0, 0.0)];
+//! let problem = Problem::new(&providers).with_customers(&customers);
+//!
+//! let registry = SolverRegistry::with_defaults();
+//! let solver = registry.build(&SolverConfig::new("ida")).unwrap();
+//! let (matching, _stats) = solver.run(&problem);
+//! assert_eq!(matching.size(), 2);
+//! ```
+
+pub mod config;
+pub mod problem;
+pub mod registry;
+pub mod solvers;
+
+pub use config::SolverConfig;
+pub use problem::Problem;
+pub use registry::{SolverFactory, SolverRegistry, UnknownSolver};
+pub use solvers::{
+    CaSolver, IdaGroupedSolver, IdaSolver, NiaSolver, RiaSolver, SaSolver, SspaSolver,
+};
+
+use crate::exact::CustomerSource;
+use crate::matching::Matching;
+use crate::stats::AlgoStats;
+
+/// A CCA algorithm behind a uniform interface.
+///
+/// Implementations are cheap, immutable descriptions (algorithm + tuning);
+/// all per-query state lives in the [`Problem`] and the [`CustomerSource`],
+/// so one solver value can serve many queries — including concurrently,
+/// which the batch runner relies on (`Send + Sync`).
+pub trait Solver: Send + Sync {
+    /// Registry name (`"ida"`, `"ca"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Chart label matching the paper's figures (`"IDA"`, `"CAN"`, …).
+    fn label(&self) -> String {
+        self.name().to_uppercase()
+    }
+
+    /// Builds the customer source this solver wants for `problem`; the
+    /// default is the problem's plain per-provider NN/range source.
+    fn make_source<'a>(&self, problem: &Problem<'a>) -> Box<dyn CustomerSource + 'a> {
+        problem.source()
+    }
+
+    /// Solves `problem` over `source`, returning the matching and the
+    /// paper's per-run measurements (I/O attribution is the caller's job:
+    /// the source's tree counts faults globally).
+    fn solve(
+        &self,
+        problem: &Problem<'_>,
+        source: &mut dyn CustomerSource,
+    ) -> (Matching, AlgoStats);
+
+    /// Convenience: build the preferred source and solve.
+    fn run(&self, problem: &Problem<'_>) -> (Matching, AlgoStats) {
+        let mut source = self.make_source(problem);
+        self.solve(problem, &mut *source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_testutil::{build_tree, gamma, optimal_cost, random_instance};
+
+    /// Every registered solver must solve a small tree-backed instance; the
+    /// exact ones to the optimum, the approximate ones within their bound
+    /// (δ is driven to ~0 so they are near-exact too).
+    #[test]
+    fn all_registered_solvers_solve_through_the_trait() {
+        let (providers, customers) = random_instance(77, 4, 40, 4);
+        let want = optimal_cost(&providers, &customers);
+        let tree = build_tree(&customers);
+        let problem = Problem::new(&providers).with_tree(&tree);
+        assert_eq!(problem.gamma(), gamma(&providers, &customers));
+
+        let registry = SolverRegistry::with_defaults();
+        for name in registry.names() {
+            let solver = registry
+                .build(&SolverConfig::new(name).theta(25.0).delta(1e-9))
+                .unwrap();
+            let (matching, stats) = solver.run(&problem);
+            matching
+                .validate_unit(&providers, &customers)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                (matching.cost() - want).abs() < 1e-6,
+                "{name}: {} vs optimal {want}",
+                matching.cost()
+            );
+            assert!(
+                stats.iterations > 0 || stats.fast_phase_matches > 0,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_backed_problem_serves_exact_solvers() {
+        let (providers, customers) = random_instance(78, 3, 25, 3);
+        let want = optimal_cost(&providers, &customers);
+        let problem = Problem::new(&providers).with_customers(&customers);
+        for name in ["sspa", "ria", "nia", "ida", "ida-grouped"] {
+            let solver = SolverRegistry::with_defaults()
+                .build(&SolverConfig::new(name).theta(25.0))
+                .unwrap();
+            let (matching, _) = solver.run(&problem);
+            assert!(
+                (matching.cost() - want).abs() < 1e-6,
+                "{name}: {} vs {want}",
+                matching.cost()
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! [`Problem`] — one CCA query: providers plus access to the customer set.
+
+use cca_geo::Point;
+use cca_rtree::RTree;
+
+use crate::exact::{CustomerSource, MemorySource, RtreeSource};
+
+/// A capacity-constrained assignment query, built builder-style:
+///
+/// ```
+/// # use cca_core::solver::Problem;
+/// # use cca_geo::Point;
+/// let providers = vec![(Point::new(0.0, 0.0), 2)];
+/// let customers = vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+/// let problem = Problem::new(&providers).with_customers(&customers);
+/// assert_eq!(problem.gamma(), 2);
+/// ```
+///
+/// Customer access comes in two flavours, mirroring the paper's settings:
+/// a disk-resident R-tree ([`Problem::with_tree`], the primary setting of
+/// §3) or a plain in-memory slice ([`Problem::with_customers`], the
+/// small-set setting the approximation phases use). Solvers obtain a
+/// [`CustomerSource`] over whichever is attached via [`Problem::source`].
+#[derive(Clone, Copy)]
+pub struct Problem<'a> {
+    providers: &'a [(Point, u32)],
+    tree: Option<&'a RTree>,
+    customers: Option<&'a [Point]>,
+}
+
+impl<'a> Problem<'a> {
+    /// Starts a problem over `providers` (position, capacity).
+    pub fn new(providers: &'a [(Point, u32)]) -> Self {
+        Problem {
+            providers,
+            tree: None,
+            customers: None,
+        }
+    }
+
+    /// Attaches the disk-resident, R-tree-indexed customer set.
+    pub fn with_tree(mut self, tree: &'a RTree) -> Self {
+        self.tree = Some(tree);
+        self
+    }
+
+    /// Attaches an in-memory customer set (ids are slice indices).
+    pub fn with_customers(mut self, customers: &'a [Point]) -> Self {
+        self.customers = Some(customers);
+        self
+    }
+
+    /// Providers (position, capacity).
+    pub fn providers(&self) -> &'a [(Point, u32)] {
+        self.providers
+    }
+
+    /// Provider positions in index order.
+    pub fn provider_positions(&self) -> Vec<Point> {
+        self.providers.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// The R-tree, when the problem is disk-resident.
+    pub fn tree(&self) -> Option<&'a RTree> {
+        self.tree
+    }
+
+    /// The in-memory customer slice, when attached.
+    pub fn customers(&self) -> Option<&'a [Point]> {
+        self.customers
+    }
+
+    /// Number of customers behind whichever access path is attached.
+    pub fn num_customers(&self) -> usize {
+        match (self.tree, self.customers) {
+            (Some(tree), _) => tree.len(),
+            (None, Some(customers)) => customers.len(),
+            (None, None) => 0,
+        }
+    }
+
+    /// `γ = min(|P|, Σ q.k)` — the size every maximal matching must reach.
+    pub fn gamma(&self) -> u64 {
+        let cap: u64 = self.providers.iter().map(|&(_, k)| u64::from(k)).sum();
+        cap.min(self.num_customers() as u64)
+    }
+
+    /// A fresh per-provider NN/range source over the attached customer set.
+    ///
+    /// # Panics
+    ///
+    /// If neither a tree nor a customer slice is attached.
+    pub fn source(&self) -> Box<dyn CustomerSource + 'a> {
+        match (self.tree, self.customers) {
+            (Some(tree), _) => Box::new(RtreeSource::new(tree, self.provider_positions())),
+            (None, Some(customers)) => Box::new(MemorySource::new(
+                self.provider_positions(),
+                customers.iter().map(|&p| (p, 1)).collect(),
+            )),
+            (None, None) => panic!("Problem has no customer access: attach a tree or a slice"),
+        }
+    }
+
+    /// Like [`Problem::source`], but with the grouped incremental-ANN
+    /// cursors of §3.4.2 (providers Hilbert-sorted into groups of
+    /// `group_size` sharing R-tree reads). Falls back to the plain source
+    /// when the problem is memory-resident.
+    pub fn grouped_source(&self, group_size: usize) -> Box<dyn CustomerSource + 'a> {
+        match self.tree {
+            Some(tree) => Box::new(RtreeSource::with_ann_groups(
+                tree,
+                self.provider_positions(),
+                group_size,
+            )),
+            None => self.source(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_problem_builds_unit_source() {
+        let providers = vec![(Point::new(0.0, 0.0), 3)];
+        let customers = vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let problem = Problem::new(&providers).with_customers(&customers);
+        assert_eq!(problem.num_customers(), 2);
+        assert_eq!(problem.gamma(), 2);
+        let mut src = problem.source();
+        let first = src.next_nn(0).unwrap();
+        assert_eq!(first.id, 0);
+        assert_eq!(first.weight, 1);
+        assert!((first.dist - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no customer access")]
+    fn sourceless_problem_panics() {
+        let providers = vec![(Point::new(0.0, 0.0), 1)];
+        let _ = Problem::new(&providers).source();
+    }
+}

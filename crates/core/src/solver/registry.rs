@@ -1,0 +1,203 @@
+//! [`SolverRegistry`] — name-indexed solver factories.
+
+use std::fmt;
+
+use crate::approx::{CaConfig, SaConfig};
+use crate::exact::{IdaConfig, NiaConfig, RiaConfig};
+use crate::solver::config::SolverConfig;
+use crate::solver::solvers::{
+    CaSolver, IdaGroupedSolver, IdaSolver, NiaSolver, RiaSolver, SaSolver, SspaSolver,
+};
+use crate::solver::Solver;
+
+/// Builds one solver from a config.
+pub type SolverFactory = fn(&SolverConfig) -> Box<dyn Solver>;
+
+/// Maps registry names to solver factories, so callers (benches, examples,
+/// the batch runner, a future query server) can enumerate and select
+/// algorithms uniformly from data.
+///
+/// ```
+/// # use cca_core::solver::{SolverConfig, SolverRegistry};
+/// let registry = SolverRegistry::with_defaults();
+/// let solver = registry.build(&SolverConfig::new("ida")).unwrap();
+/// assert_eq!(solver.name(), "ida");
+/// assert_eq!(registry.names().count(), 7);
+/// ```
+pub struct SolverRegistry {
+    entries: Vec<(&'static str, SolverFactory)>,
+}
+
+impl SolverRegistry {
+    /// An empty registry (for fully custom solver sets).
+    pub fn empty() -> Self {
+        SolverRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The seven paper algorithms under their canonical names:
+    /// `sspa`, `ria`, `nia`, `ida`, `ida-grouped`, `sa`, `ca`.
+    pub fn with_defaults() -> Self {
+        let mut r = Self::empty();
+        r.register("sspa", |_| Box::new(SspaSolver));
+        r.register("ria", |c| {
+            Box::new(RiaSolver {
+                cfg: RiaConfig { theta: c.theta },
+            })
+        });
+        r.register("nia", |c| {
+            Box::new(NiaSolver {
+                cfg: NiaConfig {
+                    use_pua: !c.disable_pua,
+                },
+            })
+        });
+        r.register("ida", |c| {
+            Box::new(IdaSolver {
+                cfg: IdaConfig {
+                    key_mode: c.key_mode,
+                    disable_fast_phase: c.disable_fast_phase,
+                    disable_pua: c.disable_pua,
+                },
+            })
+        });
+        r.register("ida-grouped", |c| {
+            Box::new(IdaGroupedSolver {
+                cfg: IdaConfig {
+                    key_mode: c.key_mode,
+                    disable_fast_phase: c.disable_fast_phase,
+                    disable_pua: c.disable_pua,
+                },
+                group_size: c.group_size,
+            })
+        });
+        r.register("sa", |c| {
+            Box::new(SaSolver {
+                cfg: SaConfig {
+                    delta: c.delta,
+                    refine: c.refine,
+                },
+            })
+        });
+        r.register("ca", |c| {
+            Box::new(CaSolver {
+                cfg: CaConfig {
+                    delta: c.delta,
+                    refine: c.refine,
+                },
+            })
+        });
+        r
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(&mut self, name: &'static str, factory: SolverFactory) {
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some(entry) => entry.1 = factory,
+            None => self.entries.push((name, factory)),
+        }
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|&(n, _)| n)
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|&(n, _)| n == name)
+    }
+
+    /// Builds the solver selected by `config`.
+    pub fn build(&self, config: &SolverConfig) -> Result<Box<dyn Solver>, UnknownSolver> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == config.name())
+            .map(|(_, factory)| factory(config))
+            .ok_or_else(|| UnknownSolver {
+                name: config.name().to_string(),
+                known: self.names().collect(),
+            })
+    }
+
+    /// Builds the solver registered under `name` with default parameters.
+    pub fn build_by_name(&self, name: &str) -> Result<Box<dyn Solver>, UnknownSolver> {
+        self.build(&SolverConfig::new(name))
+    }
+}
+
+impl Default for SolverRegistry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+/// Error returned by [`SolverRegistry::build`] for unregistered names.
+#[derive(Clone, Debug)]
+pub struct UnknownSolver {
+    /// The requested name.
+    pub name: String,
+    /// Names the registry does know.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown solver `{}` (registered: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownSolver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_has_the_seven_algorithms() {
+        let r = SolverRegistry::with_defaults();
+        let names: Vec<_> = r.names().collect();
+        assert_eq!(
+            names,
+            ["sspa", "ria", "nia", "ida", "ida-grouped", "sa", "ca"]
+        );
+        for name in names {
+            let solver = r.build_by_name(name).unwrap();
+            assert_eq!(solver.name(), name);
+        }
+    }
+
+    #[test]
+    fn configs_reach_the_solver() {
+        let r = SolverRegistry::with_defaults();
+        let solver = r
+            .build(&SolverConfig::new("sa").refine(crate::RefineMethod::ExclusiveNn))
+            .unwrap();
+        assert_eq!(solver.label(), "SAE");
+        let solver = r.build(&SolverConfig::new("ca")).unwrap();
+        assert_eq!(solver.label(), "CAN");
+    }
+
+    #[test]
+    fn unknown_name_is_a_helpful_error() {
+        let r = SolverRegistry::with_defaults();
+        let err = r.build_by_name("voronoi").map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("voronoi"));
+        assert!(err.to_string().contains("ida"));
+    }
+
+    #[test]
+    fn register_replaces_existing() {
+        let mut r = SolverRegistry::with_defaults();
+        let before = r.names().count();
+        r.register("ida", |_| Box::new(SspaSolver));
+        assert_eq!(r.names().count(), before);
+        assert_eq!(r.build_by_name("ida").unwrap().name(), "sspa");
+    }
+}

@@ -41,6 +41,72 @@ impl AlgoStats {
     }
 }
 
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::AlgoStats;
+    use cca_storage::IoStats;
+    use serde::{Deserialize, Error, Serialize, Value};
+    use std::time::Duration;
+
+    impl Serialize for AlgoStats {
+        fn to_value(&self) -> Value {
+            Value::map([
+                ("esub_edges", self.esub_edges.to_value()),
+                ("dijkstra_runs", self.dijkstra_runs.to_value()),
+                ("pua_runs", self.pua_runs.to_value()),
+                ("iterations", self.iterations.to_value()),
+                ("invalid_paths", self.invalid_paths.to_value()),
+                ("fast_phase_matches", self.fast_phase_matches.to_value()),
+                ("cpu_time", self.cpu_time.to_value()),
+                ("io", self.io.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for AlgoStats {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Ok(AlgoStats {
+                esub_edges: u64::from_value(v.get("esub_edges")?)?,
+                dijkstra_runs: u64::from_value(v.get("dijkstra_runs")?)?,
+                pua_runs: u64::from_value(v.get("pua_runs")?)?,
+                iterations: u64::from_value(v.get("iterations")?)?,
+                invalid_paths: u64::from_value(v.get("invalid_paths")?)?,
+                fast_phase_matches: u64::from_value(v.get("fast_phase_matches")?)?,
+                cpu_time: Duration::from_value(v.get("cpu_time")?)?,
+                io: IoStats::from_value(v.get("io")?)?,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn algo_stats_json_roundtrip() {
+            let s = AlgoStats {
+                esub_edges: 123,
+                iterations: 45,
+                fast_phase_matches: 6,
+                cpu_time: Duration::from_micros(987_654),
+                io: IoStats {
+                    hits: 9,
+                    faults: 2,
+                    writes: 1,
+                },
+                ..Default::default()
+            };
+            let json = serde::json::to_string(&s);
+            let back: AlgoStats = serde::json::from_str(&json).unwrap();
+            assert_eq!(back.esub_edges, s.esub_edges);
+            assert_eq!(back.iterations, s.iterations);
+            assert_eq!(back.fast_phase_matches, s.fast_phase_matches);
+            assert_eq!(back.cpu_time, s.cpu_time);
+            assert_eq!(back.io, s.io);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

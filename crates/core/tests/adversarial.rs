@@ -3,29 +3,8 @@
 //! floating-point pruning bounds and heap orderings typically break.
 
 use cca_core::exact::{ida, nia, ria, IdaConfig, MemorySource, NiaConfig, RiaConfig, RtreeSource};
-use cca_flow::sspa::{solve_complete_bipartite, unit_customers, FlowProvider};
 use cca_geo::Point;
-use cca_rtree::RTree;
-use cca_storage::PageStore;
-
-fn oracle(providers: &[(Point, u32)], customers: &[Point]) -> f64 {
-    let fps: Vec<FlowProvider> = providers
-        .iter()
-        .map(|&(pos, cap)| FlowProvider { pos, cap })
-        .collect();
-    solve_complete_bipartite(&fps, &unit_customers(customers)).0.cost
-}
-
-fn tree_of(customers: &[Point]) -> RTree {
-    let items: Vec<(Point, u64)> = customers
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i as u64))
-        .collect();
-    let t = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
-    t.finish_build(1.0);
-    t
-}
+use cca_testutil::{build_tree as tree_of, optimal_cost as oracle};
 
 fn check_all(providers: &[(Point, u32)], customers: &[Point], label: &str) {
     let want = oracle(providers, customers);
@@ -97,10 +76,7 @@ fn grid_with_exact_ties_everywhere() {
             customers.push(Point::new(x as f64 * 10.0, y as f64 * 10.0));
         }
     }
-    let providers = vec![
-        (Point::new(15.0, 15.0), 10),
-        (Point::new(35.0, 35.0), 10),
-    ];
+    let providers = vec![(Point::new(15.0, 15.0), 10), (Point::new(35.0, 35.0), 10)];
     check_all(&providers, &customers, "grid");
 }
 
@@ -134,12 +110,7 @@ fn extreme_capacity_skew() {
         (Point::new(900.0, 900.0), 1),
     ];
     let customers: Vec<Point> = (0..40)
-        .map(|i| {
-            Point::new(
-                (i % 8) as f64 * 120.0 + 20.0,
-                (i / 8) as f64 * 180.0 + 30.0,
-            )
-        })
+        .map(|i| Point::new((i % 8) as f64 * 120.0 + 20.0, (i / 8) as f64 * 180.0 + 30.0))
         .collect();
     check_all(&providers, &customers, "skew");
 }

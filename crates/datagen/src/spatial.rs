@@ -262,7 +262,13 @@ mod tests {
     #[test]
     fn clustered_points_lie_on_network() {
         let net = net();
-        let pts = generate_points(&net, &centers_for(&net), 300, SpatialDistribution::Clustered, 12);
+        let pts = generate_points(
+            &net,
+            &centers_for(&net),
+            300,
+            SpatialDistribution::Clustered,
+            12,
+        );
         for p in &pts {
             assert!(
                 dist_to_network(&net, *p) < 1e-6,
@@ -284,7 +290,13 @@ mod tests {
             cells.len()
         };
         let u = generate_points(&net, &[], 2000, SpatialDistribution::Uniform, 13);
-        let c = generate_points(&net, &centers_for(&net), 2000, SpatialDistribution::Clustered, 13);
+        let c = generate_points(
+            &net,
+            &centers_for(&net),
+            2000,
+            SpatialDistribution::Clustered,
+            13,
+        );
         assert!(
             occupied(&c) < occupied(&u),
             "clustered {} cells vs uniform {} cells",

@@ -65,8 +65,20 @@ impl WorkloadConfig {
         // Dense districts belong to the map: Q and P share them, as on a
         // real road map where providers cluster where customers do.
         let centers = cluster_centers(&net, self.seed ^ NET_STREAM);
-        let q_points = generate_points(&net, &centers, self.num_providers, self.q_dist, self.seed ^ Q_STREAM);
-        let p_points = generate_points(&net, &centers, self.num_customers, self.p_dist, self.seed ^ P_STREAM);
+        let q_points = generate_points(
+            &net,
+            &centers,
+            self.num_providers,
+            self.q_dist,
+            self.seed ^ Q_STREAM,
+        );
+        let p_points = generate_points(
+            &net,
+            &centers,
+            self.num_customers,
+            self.p_dist,
+            self.seed ^ P_STREAM,
+        );
         let caps = self
             .capacity
             .generate(self.num_providers, self.seed ^ CAP_STREAM);
@@ -167,10 +179,8 @@ mod tests {
         let fifth = WorkloadConfig::scaled_default(0.2);
         assert_eq!(fifth.num_providers, 200);
         assert_eq!(fifth.num_customers, 20_000);
-        let ratio_full =
-            full.expected_total_capacity() / full.num_customers as f64;
-        let ratio_fifth =
-            fifth.expected_total_capacity() / fifth.num_customers as f64;
+        let ratio_full = full.expected_total_capacity() / full.num_customers as f64;
+        let ratio_fifth = fifth.expected_total_capacity() / fifth.num_customers as f64;
         assert!((ratio_full - ratio_fifth).abs() < 1e-9);
     }
 

@@ -92,7 +92,11 @@ impl FlowGraph {
         debug_assert!(cost.is_finite());
         debug_assert!((u as usize) < self.num_nodes() && (v as usize) < self.num_nodes());
         let e = u32::try_from(self.cap.len()).expect("edge id overflow");
-        let fwd = ArcData { from: u, to: v, cost };
+        let fwd = ArcData {
+            from: u,
+            to: v,
+            cost,
+        };
         let rev = ArcData {
             from: v,
             to: u,
@@ -138,14 +142,14 @@ impl FlowGraph {
     /// True for forward arcs.
     #[inline]
     pub fn is_forward(&self, a: ArcId) -> bool {
-        a % 2 == 0
+        a.is_multiple_of(2)
     }
 
     /// Residual capacity of an arc.
     #[inline]
     pub fn residual_cap(&self, a: ArcId) -> u32 {
         let e = (a / 2) as usize;
-        if a % 2 == 0 {
+        if a.is_multiple_of(2) {
             self.cap[e] - self.flow[e]
         } else {
             self.flow[e]
@@ -167,7 +171,7 @@ impl FlowGraph {
     pub fn push_flow(&mut self, a: ArcId, amount: u32) {
         debug_assert!(self.residual_cap(a) >= amount, "over-push on arc {a}");
         let e = (a / 2) as usize;
-        if a % 2 == 0 {
+        if a.is_multiple_of(2) {
             self.flow[e] += amount;
         } else {
             self.flow[e] -= amount;

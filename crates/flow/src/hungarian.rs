@@ -20,10 +20,7 @@ pub fn rectangular_assignment(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
         return (Vec::new(), 0.0);
     }
     let m = cost[0].len();
-    assert!(
-        cost.iter().all(|r| r.len() == m),
-        "ragged cost matrix"
-    );
+    assert!(cost.iter().all(|r| r.len() == m), "ragged cost matrix");
     assert!(n <= m, "rows must not exceed columns ({n} > {m})");
 
     // 1-indexed arrays in the classic formulation; p[j] = row matched to

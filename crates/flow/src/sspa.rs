@@ -102,7 +102,8 @@ pub fn solve_complete_bipartite(
     // the same provider ("M' may assign instances of a representative to
     // multiple service providers", §4.2); for unit customers this is the
     // paper's capacity-1 edge.
-    let mut qp_edges: Vec<(u32, usize, usize)> = Vec::with_capacity(providers.len() * customers.len());
+    let mut qp_edges: Vec<(u32, usize, usize)> =
+        Vec::with_capacity(providers.len() * customers.len());
     for (i, q) in providers.iter().enumerate() {
         for (j, p) in customers.iter().enumerate() {
             let e = g.add_edge(q_node(i), p_node(j), p.weight, q.pos.dist(&p.pos));
@@ -147,7 +148,10 @@ pub fn solve_complete_bipartite(
 
 /// Convenience constructor for unit-weight customers.
 pub fn unit_customers(points: &[Point]) -> Vec<FlowCustomer> {
-    points.iter().map(|&pos| FlowCustomer { pos, weight: 1 }).collect()
+    points
+        .iter()
+        .map(|&pos| FlowCustomer { pos, weight: 1 })
+        .collect()
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ pub fn brute_force_optimal_cost(providers: &[FlowProvider], customers: &[Point])
         let cap: u64 = providers.iter().map(|q| u64::from(q.cap)).sum();
         cap.min(customers.len() as u64)
     };
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         providers: &[FlowProvider],
         customers: &[Point],
@@ -89,7 +90,16 @@ pub fn brute_force_optimal_cost(providers: &[FlowProvider], customers: &[Point])
         let left = (customers.len() - j - 1) as u64;
         let capacity_left: u64 = remaining.iter().map(|&c| u64::from(c)).sum();
         if matched + left.min(capacity_left) >= gamma {
-            rec(providers, customers, j + 1, remaining, matched, cost, gamma, best);
+            rec(
+                providers,
+                customers,
+                j + 1,
+                remaining,
+                matched,
+                cost,
+                gamma,
+                best,
+            );
         }
         // Option 2: assign to any provider with spare capacity.
         for i in 0..providers.len() {

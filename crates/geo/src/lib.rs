@@ -15,6 +15,8 @@ pub mod hilbert;
 pub mod num;
 pub mod point;
 pub mod rect;
+#[cfg(feature = "serde")]
+mod serde_impls;
 
 pub use num::OrdF64;
 pub use point::Point;

@@ -182,8 +182,12 @@ impl Rect {
     #[inline]
     pub fn mindist_rect(&self, other: &Rect) -> f64 {
         debug_assert!(!self.is_empty() && !other.is_empty());
-        let dx = (other.lo.x - self.hi.x).max(0.0).max(self.lo.x - other.hi.x);
-        let dy = (other.lo.y - self.hi.y).max(0.0).max(self.lo.y - other.hi.y);
+        let dx = (other.lo.x - self.hi.x)
+            .max(0.0)
+            .max(self.lo.x - other.hi.x);
+        let dy = (other.lo.y - self.hi.y)
+            .max(0.0)
+            .max(self.lo.y - other.hi.y);
         (dx * dx + dy * dy).sqrt()
     }
 

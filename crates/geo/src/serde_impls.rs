@@ -1,0 +1,61 @@
+//! `serde` feature: persistence impls for the geometry types.
+//!
+//! Hand-written field-per-field maps against the vendored `serde` shim
+//! (see `vendor/README.md`); shaped exactly like the maps
+//! `#[derive(Serialize, Deserialize)]` would produce, so swapping in the
+//! real serde later is mechanical.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::{Point, Rect};
+
+impl Serialize for Point {
+    fn to_value(&self) -> Value {
+        Value::map([("x", self.x.to_value()), ("y", self.y.to_value())])
+    }
+}
+
+impl Deserialize for Point {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Point {
+            x: f64::from_value(v.get("x")?)?,
+            y: f64::from_value(v.get("y")?)?,
+        })
+    }
+}
+
+impl Serialize for Rect {
+    fn to_value(&self) -> Value {
+        Value::map([("lo", self.lo.to_value()), ("hi", self.hi.to_value())])
+    }
+}
+
+impl Deserialize for Rect {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Rect {
+            lo: Point::from_value(v.get("lo")?)?,
+            hi: Point::from_value(v.get("hi")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_rect_json_roundtrip() {
+        let p = Point::new(12.25, -3.5);
+        let back: Point = serde::json::from_str(&serde::json::to_string(&p)).unwrap();
+        assert_eq!(back, p);
+
+        let r = Rect::new(Point::new(0.0, 1.0), Point::new(10.0, 11.0));
+        let back: Rect = serde::json::from_str(&serde::json::to_string(&r)).unwrap();
+        assert_eq!(back, r);
+
+        // Workload-shaped payload: a point list survives persistence.
+        let pts = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+        let back: Vec<Point> = serde::json::from_str(&serde::json::to_string(&pts)).unwrap();
+        assert_eq!(back, pts);
+    }
+}

@@ -164,8 +164,7 @@ mod tests {
 
     #[test]
     fn duplicate_positions_allowed() {
-        let items: Vec<(Point, ItemId)> =
-            (0..100).map(|i| (Point::new(1.0, 1.0), i)).collect();
+        let items: Vec<(Point, ItemId)> = (0..100).map(|i| (Point::new(1.0, 1.0), i)).collect();
         let tree = RTree::bulk_load(PageStore::with_config(1024, 64), &items);
         assert_eq!(tree.check_invariants(), 100);
     }

@@ -18,7 +18,7 @@ impl RTree {
     /// Inserts one point, splitting nodes (and growing the root) as needed.
     pub fn insert(&mut self, point: Point, id: ItemId) {
         assert!(point.is_finite(), "non-finite point inserted");
-        if let Some((left, right)) = self.insert_rec(self.root(), self.height(), point, id) {
+        if let Some((left, right)) = self.insert_rec(self.root(), point, id) {
             // Root split: grow the tree by one level.
             let new_root = self.alloc_node(&Node::Inner(vec![left, right]));
             let h = self.height() + 1;
@@ -31,7 +31,6 @@ impl RTree {
     fn insert_rec(
         &mut self,
         page: PageId,
-        level_height: u32,
         point: Point,
         id: ItemId,
     ) -> Option<(InnerEntry, InnerEntry)> {
@@ -43,9 +42,11 @@ impl RTree {
                     self.write_node(page, &n);
                     return None;
                 }
-                let (a, b) = quadratic_split(std::mem::take(entries), |e| {
-                    Rect::from_point(e.point)
-                }, min_fill(self.leaf_capacity()));
+                let (a, b) = quadratic_split(
+                    std::mem::take(entries),
+                    |e| Rect::from_point(e.point),
+                    min_fill(self.leaf_capacity()),
+                );
                 let mbr_a = a.iter().map(|e| e.point).collect();
                 let mbr_b = b.iter().map(|e| e.point).collect();
                 self.write_node(page, &Node::Leaf(a));
@@ -57,12 +58,7 @@ impl RTree {
             }
             Node::Inner(entries) => {
                 let chosen = choose_subtree(entries, point);
-                let split = self.insert_rec(
-                    entries[chosen].child,
-                    level_height - 1,
-                    point,
-                    id,
-                );
+                let split = self.insert_rec(entries[chosen].child, point, id);
                 match split {
                     None => {
                         // Child absorbed the point: refresh its MBR.

@@ -66,9 +66,7 @@ impl Node {
     pub fn mbr(&self) -> Rect {
         match self {
             Node::Leaf(v) => v.iter().map(|e| e.point).collect(),
-            Node::Inner(v) => v
-                .iter()
-                .fold(Rect::empty(), |acc, e| acc.union(&e.mbr)),
+            Node::Inner(v) => v.iter().fold(Rect::empty(), |acc, e| acc.union(&e.mbr)),
         }
     }
 }

@@ -113,7 +113,10 @@ fn split_until_delta(
     // smaller than the conceptual region, preserving the δ guarantee.
     let tight: Rect = members.iter().map(|&(p, _)| p).collect();
     if tight.diagonal() <= delta {
-        out.push(CustomerGroup { mbr: tight, members });
+        out.push(CustomerGroup {
+            mbr: tight,
+            members,
+        });
         return;
     }
     let (a, b) = region.split_longest();
@@ -236,8 +239,7 @@ mod tests {
     #[test]
     fn duplicate_heavy_data_terminates() {
         // All points identical: zero-diagonal group regardless of delta.
-        let items: Vec<(Point, ItemId)> =
-            (0..200).map(|i| (Point::new(3.0, 3.0), i)).collect();
+        let items: Vec<(Point, ItemId)> = (0..200).map(|i| (Point::new(3.0, 3.0), i)).collect();
         let tree = RTree::bulk_load(PageStore::with_config(1024, 256), &items);
         let groups = tree.partition_by_diagonal(0.5);
         check_partition(&items, &groups, 0.5);

@@ -147,8 +147,11 @@ mod tests {
             (Point::new(999.0, 10.0), 5.0),
             (Point::new(500.0, 500.0), 0.0),
         ] {
-            let mut got: Vec<ItemId> =
-                tree.range_search(c, r).into_iter().map(|(_, id, _)| id).collect();
+            let mut got: Vec<ItemId> = tree
+                .range_search(c, r)
+                .into_iter()
+                .map(|(_, id, _)| id)
+                .collect();
             got.sort_unstable();
             assert_eq!(got, brute_range(&items, c, r), "c={c} r={r}");
         }

@@ -152,7 +152,7 @@ impl RTree {
     ) {
         if level_height == 1 {
             self.store.with_page(page, |bytes| {
-                node::for_each_leaf_entry(bytes, |p, id| f(p, id));
+                node::for_each_leaf_entry(bytes, f);
             });
         } else {
             let children: Vec<PageId> = self.store.with_page(page, |bytes| {

@@ -207,7 +207,11 @@ impl BufferPool {
 mod tests {
     use super::*;
 
-    fn setup(pool_cap: usize, pages: usize, page_size: usize) -> (DiskManager, BufferPool, Vec<PageId>) {
+    fn setup(
+        pool_cap: usize,
+        pages: usize,
+        page_size: usize,
+    ) -> (DiskManager, BufferPool, Vec<PageId>) {
         let mut disk = DiskManager::new(page_size);
         let ids: Vec<PageId> = (0..pages).map(|_| disk.alloc_page()).collect();
         for (i, &id) in ids.iter().enumerate() {

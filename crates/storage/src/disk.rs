@@ -65,7 +65,8 @@ impl DiskManager {
     /// flushes content.
     pub fn alloc_page(&mut self) -> PageId {
         let id = PageId(u32::try_from(self.pages.len()).expect("page id overflow"));
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         id
     }
 

@@ -12,7 +12,8 @@
 //!   write-back of dirty pages,
 //! * [`stats::IoStats`] — fault counters plus the paper's charged I/O time,
 //! * [`store::PageStore`] — the facade combining disk and buffer pool behind
-//!   a single-threaded interior-mutability interface used by the R-tree.
+//!   a thread-safe interior-mutability interface used by the R-tree (and
+//!   shared across the batch runner's worker threads).
 //!
 //! The disk is in-memory (documented substitution in DESIGN.md §5): the
 //! paper itself *charges* I/O time per fault rather than measuring a device,

@@ -57,6 +57,48 @@ impl IoStats {
     }
 }
 
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::IoStats;
+    use serde::{Deserialize, Error, Serialize, Value};
+
+    impl Serialize for IoStats {
+        fn to_value(&self) -> Value {
+            Value::map([
+                ("hits", self.hits.to_value()),
+                ("faults", self.faults.to_value()),
+                ("writes", self.writes.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for IoStats {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Ok(IoStats {
+                hits: u64::from_value(v.get("hits")?)?,
+                faults: u64::from_value(v.get("faults")?)?,
+                writes: u64::from_value(v.get("writes")?)?,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn io_stats_json_roundtrip() {
+            let s = IoStats {
+                hits: 10,
+                faults: 7,
+                writes: 3,
+            };
+            let back: IoStats = serde::json::from_str(&serde::json::to_string(&s)).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}
+
 impl std::ops::Add for IoStats {
     type Output = IoStats;
     fn add(self, rhs: IoStats) -> IoStats {

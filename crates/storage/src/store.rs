@@ -1,11 +1,14 @@
 //! [`PageStore`]: the facade the R-tree talks to.
 //!
 //! Combines a [`DiskManager`] and a [`BufferPool`] behind `&self` methods via
-//! interior mutability. The CCA algorithms are single-threaded (the paper's
-//! cost model is sequential CPU + charged I/O), so a `RefCell` is the right
-//! tool; the type is deliberately `!Sync`.
+//! interior mutability. Page accesses are serialised through a `Mutex`, so a
+//! built tree is `Sync` and can be shared by the batch runner's worker
+//! threads; single-threaded runs pay only an uncontended lock per access.
+//! I/O statistics and the LRU state are global to the store — concurrent
+//! queries share the buffer pool exactly like concurrent transactions share
+//! a DBMS buffer cache.
 
-use std::cell::RefCell;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::buffer::BufferPool;
 use crate::disk::{DiskManager, PageId};
@@ -17,9 +20,10 @@ struct Inner {
     pool: BufferPool,
 }
 
-/// Paged storage with a buffer pool, usable through shared references.
+/// Paged storage with a buffer pool, usable through shared references from
+/// many threads.
 pub struct PageStore {
-    inner: RefCell<Inner>,
+    inner: Mutex<Inner>,
 }
 
 impl PageStore {
@@ -33,75 +37,83 @@ impl PageStore {
     /// (pages).
     pub fn with_config(page_size: usize, buffer_pages: usize) -> Self {
         PageStore {
-            inner: RefCell::new(Inner {
+            inner: Mutex::new(Inner {
                 disk: DiskManager::new(page_size),
                 pool: BufferPool::new(buffer_pages),
             }),
         }
     }
 
+    /// Locks the store; a panicked holder cannot leave the page data in a
+    /// torn state (all mutation is in-memory bookkeeping), so poisoning is
+    /// deliberately ignored.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.inner.borrow().disk.page_size()
+        self.lock().disk.page_size()
     }
 
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
-        self.inner.borrow().disk.num_pages()
+        self.lock().disk.num_pages()
     }
 
     /// Allocates a fresh zeroed page.
     pub fn alloc_page(&self) -> PageId {
-        self.inner.borrow_mut().disk.alloc_page()
+        self.lock().disk.alloc_page()
     }
 
     /// Reads a page through the buffer pool; `f` receives the page bytes.
     ///
-    /// The closure must not re-enter the store (single-threaded storage
-    /// discipline; enforced by `RefCell` at runtime).
+    /// The closure runs under the store lock and must not re-enter the
+    /// store (it would deadlock; the single-threaded storage discipline of
+    /// the old `RefCell` design, enforced differently).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
-        let inner = &mut *self.inner.borrow_mut();
+        let inner = &mut *self.lock();
         inner.pool.with_page(&mut inner.disk, id, f)
     }
 
     /// Writes a full page through the buffer pool (write-back).
     pub fn write_page(&self, id: PageId, data: &[u8]) {
-        let inner = &mut *self.inner.borrow_mut();
+        let inner = &mut *self.lock();
         inner.pool.write_page(&mut inner.disk, id, data);
     }
 
     /// Flushes dirty pages to the simulated disk.
     pub fn flush(&self) {
-        let inner = &mut *self.inner.borrow_mut();
+        let inner = &mut *self.lock();
         inner.pool.flush_all(&mut inner.disk);
     }
 
     /// Buffer-pool statistics accumulated so far.
     pub fn io_stats(&self) -> IoStats {
-        self.inner.borrow().pool.stats()
+        self.lock().pool.stats()
     }
 
     /// Clears I/O statistics (e.g. after bulk load, before measuring
     /// queries).
     pub fn reset_stats(&self) {
-        self.inner.borrow_mut().pool.reset_stats();
+        self.lock().pool.reset_stats();
     }
 
     /// Re-sizes the buffer pool; used to apply the paper's "1 % of the tree
     /// size" rule once the tree has been built.
     pub fn set_buffer_capacity(&self, pages: usize) {
-        let inner = &mut *self.inner.borrow_mut();
+        let inner = &mut *self.lock();
         inner.pool.set_capacity(&mut inner.disk, pages);
     }
 
     /// Current buffer capacity in pages.
     pub fn buffer_capacity(&self) -> usize {
-        self.inner.borrow().pool.capacity()
+        self.lock().pool.capacity()
     }
 
     /// Flushes and empties the cache so a subsequent run starts cold.
     pub fn clear_cache(&self) {
-        let inner = &mut *self.inner.borrow_mut();
+        let inner = &mut *self.lock();
         inner.pool.clear(&mut inner.disk);
     }
 }
@@ -169,5 +181,29 @@ mod tests {
         store.reset_stats();
         store.with_page(a, |d| assert_eq!(d, &[5u8; 32]));
         assert_eq!(store.io_stats().faults, 1);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let store = PageStore::with_config(32, 4);
+        let pages: Vec<_> = (0..8).map(|_| store.alloc_page()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            store.write_page(p, &[i as u8; 32]);
+        }
+        store.flush();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = &store;
+                let pages = &pages;
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let idx = (t + round) % pages.len();
+                        store.with_page(pages[idx], |d| assert_eq!(d[0] as usize, idx));
+                    }
+                });
+            }
+        });
+        let s = store.io_stats();
+        assert_eq!(s.hits + s.faults, 200);
     }
 }

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example clinic_dispatch`
 
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
-use cca::{Algorithm, SpatialAssignment};
+use cca::{SolverConfig, SpatialAssignment};
 
 fn run_combo(
     q_dist: SpatialDistribution,
@@ -27,7 +27,9 @@ fn run_combo(
     };
     let w = cfg.generate();
     let instance = SpatialAssignment::build(w.providers, w.customers);
-    let r = instance.run(Algorithm::Ida);
+    let r = instance
+        .run_config(&SolverConfig::new("ida"))
+        .expect("ida is registered");
     r.validate().expect("valid matching");
     (
         format!("{}vs{}", q_dist.label(), p_dist.label()),
@@ -49,7 +51,10 @@ fn main() {
         (SpatialDistribution::Uniform, SpatialDistribution::Uniform),
         (SpatialDistribution::Uniform, SpatialDistribution::Clustered),
         (SpatialDistribution::Clustered, SpatialDistribution::Uniform),
-        (SpatialDistribution::Clustered, SpatialDistribution::Clustered),
+        (
+            SpatialDistribution::Clustered,
+            SpatialDistribution::Clustered,
+        ),
     ] {
         let (label, cost, esub, faults) = run_combo(qd, pd, CapacitySpec::Fixed(110));
         let note = match (qd, pd) {

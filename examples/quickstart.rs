@@ -3,7 +3,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use cca::geo::Point;
-use cca::{Algorithm, SpatialAssignment};
+use cca::{SolverConfig, SpatialAssignment};
 
 fn main() {
     // Three wireless access points with limited client slots (the paper's
@@ -38,8 +38,11 @@ fn main() {
         instance.gamma()
     );
 
-    // IDA is the paper's best exact algorithm (§5.2).
-    let result = instance.run(Algorithm::Ida);
+    // IDA is the paper's best exact algorithm (§5.2); solvers are looked
+    // up by name through the registry-backed config API.
+    let result = instance
+        .run_config(&SolverConfig::new("ida"))
+        .expect("ida is registered");
     result.validate().expect("matching must be valid");
 
     println!("optimal assignment cost Ψ(M) = {:.2}", result.cost());

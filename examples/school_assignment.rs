@@ -12,7 +12,7 @@
 
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
 use cca::geo::Point;
-use cca::{Algorithm, SpatialAssignment};
+use cca::{SolverConfig, SpatialAssignment};
 
 fn main() {
     // 12 schools with 260 seats each; 3000 children, both clustered (dense
@@ -65,13 +65,18 @@ fn main() {
     println!("  => infeasible: capacities are violated");
 
     // --- optimal CCA ------------------------------------------------------
-    let result = instance.run(Algorithm::Ida);
+    let result = instance
+        .run_config(&SolverConfig::new("ida"))
+        .expect("ida is registered");
     result.validate().expect("CCA matching is valid");
     println!("\noptimal CCA (IDA):");
     println!("  total distance        = {:.0}", result.cost());
     println!("  matched children      = {}", result.matching.size());
     let load = result.matching.provider_load(w.providers.len());
-    println!("  max school load       = {} (cap 260)", load.iter().max().unwrap());
+    println!(
+        "  max school load       = {} (cap 260)",
+        load.iter().max().unwrap()
+    );
     println!(
         "  mean walk per child   = {:.1} map units",
         result.cost() / result.matching.size() as f64

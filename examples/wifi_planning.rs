@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use cca::core::{ca_error_bound, RefineMethod};
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
-use cca::{Algorithm, SpatialAssignment};
+use cca::{SolverConfig, SpatialAssignment};
 
 fn main() {
     // A dense deployment: 60 access points x 40 client slots, 5000 receivers
@@ -36,7 +36,9 @@ fn main() {
 
     // Exact reference.
     let t0 = Instant::now();
-    let exact = instance.run(Algorithm::Ida);
+    let exact = instance
+        .run_config(&SolverConfig::new("ida"))
+        .expect("ida is registered");
     let exact_wall = t0.elapsed();
     exact.validate().expect("exact matching valid");
     println!(
@@ -46,13 +48,19 @@ fn main() {
     );
 
     // CA sweep over δ (the Figure 14 axis).
-    println!("\n{:<8} {:>10} {:>9} {:>12} {:>12} {:>10}", "delta", "cost", "quality", "bound-ok", "wall", "|Esub|");
+    println!(
+        "\n{:<8} {:>10} {:>9} {:>12} {:>12} {:>10}",
+        "delta", "cost", "quality", "bound-ok", "wall", "|Esub|"
+    );
     for delta in [5.0, 10.0, 20.0, 40.0, 80.0, 160.0] {
         let t0 = Instant::now();
-        let approx = instance.run(Algorithm::Ca {
-            delta,
-            refine: RefineMethod::ExclusiveNn,
-        });
+        let approx = instance
+            .run_config(
+                &SolverConfig::new("ca")
+                    .delta(delta)
+                    .refine(RefineMethod::ExclusiveNn),
+            )
+            .expect("ca is registered");
         let wall = t0.elapsed();
         approx.validate().expect("approximate matching valid");
         let quality = approx.cost() / exact.cost();

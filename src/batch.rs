@@ -1,0 +1,204 @@
+//! [`BatchRunner`] — many independent CCA queries over one shared,
+//! immutable R-tree, executed across threads.
+//!
+//! This is the first concrete step toward the serving scenario the roadmap
+//! targets: one loaded instance answering a stream of assignment queries.
+//! Workers pull query configs from an atomic cursor, build their solver
+//! from a [`SolverRegistry`], and solve against the shared tree; the paged
+//! store is thread-safe, so the buffer pool behaves like a DBMS buffer
+//! cache shared by concurrent queries.
+//!
+//! Matchings are bit-identical between parallel and sequential execution —
+//! the algorithms never read buffer-pool state, only charge it — which
+//! [`BatchRunner::run_sequential`] exists to demonstrate (and tests
+//! enforce). Per-query [`AlgoStats`] carry the algorithm's own counters and
+//! CPU time; buffer-pool traffic cannot be attributed per query under
+//! concurrency, so `stats.io` stays zeroed and the batch-aggregate delta is
+//! reported on [`BatchReport::io`] instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use cca_core::solver::{Solver, SolverConfig, SolverRegistry, UnknownSolver};
+use cca_core::{AlgoStats, Matching};
+use cca_storage::IoStats;
+
+use crate::SpatialAssignment;
+
+/// Executes batches of queries against one [`SpatialAssignment`].
+pub struct BatchRunner<'a> {
+    instance: &'a SpatialAssignment,
+    registry: SolverRegistry,
+    threads: usize,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// A runner over `instance` using the default registry and one worker
+    /// per available hardware thread.
+    pub fn new(instance: &'a SpatialAssignment) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BatchRunner {
+            instance,
+            registry: SolverRegistry::with_defaults(),
+            threads,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the solver registry (e.g. to add custom solvers).
+    pub fn registry(mut self, registry: SolverRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Runs `queries` across the configured worker threads.
+    ///
+    /// Fails up front (before touching the instance) if any query names an
+    /// unregistered solver.
+    pub fn run(&self, queries: &[SolverConfig]) -> Result<BatchReport, UnknownSolver> {
+        self.execute(queries, self.threads)
+    }
+
+    /// Runs `queries` one after another on the calling thread — the
+    /// reference semantics `run` must reproduce result-wise.
+    pub fn run_sequential(&self, queries: &[SolverConfig]) -> Result<BatchReport, UnknownSolver> {
+        self.execute(queries, 1)
+    }
+
+    fn execute(
+        &self,
+        queries: &[SolverConfig],
+        threads: usize,
+    ) -> Result<BatchReport, UnknownSolver> {
+        // Build every solver up front: any bad config fails the batch
+        // before the instance is touched.
+        let solvers: Vec<Box<dyn Solver>> = queries
+            .iter()
+            .map(|q| self.registry.build(q))
+            .collect::<Result<_, _>>()?;
+        let store = self.instance.tree().store();
+        // One defined starting state per batch; queries then share the
+        // warming cache, as concurrent traffic on a live instance would.
+        store.clear_cache();
+        let io_before = store.io_stats();
+        let start = Instant::now();
+
+        let workers = threads.min(queries.len()).max(1);
+        let results: Vec<QueryResult> = if workers == 1 {
+            // Sequential batches run right here on the calling thread.
+            queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| self.run_one(i, q, &*solvers[i]))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<QueryResult>>> =
+                queries.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let result = self.run_one(i, &queries[i], &*solvers[i]);
+                        *slots[i].lock().unwrap() = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .expect("every query index was claimed by a worker")
+                })
+                .collect()
+        };
+        Ok(BatchReport {
+            results,
+            io: store.io_stats().since(&io_before),
+            wall: start.elapsed(),
+        })
+    }
+
+    fn run_one(&self, index: usize, config: &SolverConfig, solver: &dyn Solver) -> QueryResult {
+        let (matching, mut stats) = solver.run(&self.instance.problem());
+        // Buffer-pool traffic is shared across concurrent queries and
+        // cannot be attributed to one of them; the batch-level delta is
+        // reported on the report instead.
+        stats.io = IoStats::default();
+        QueryResult {
+            index,
+            label: solver.label(),
+            config: config.clone(),
+            matching,
+            stats,
+        }
+    }
+}
+
+/// One query's outcome within a batch.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Position of the query in the submitted batch.
+    pub index: usize,
+    /// The solver's figure label (`"IDA"`, `"CAN"`, …).
+    pub label: String,
+    /// The config the query was built from.
+    pub config: SolverConfig,
+    pub matching: Matching,
+    /// Algorithm counters and CPU time; `io` is zeroed (see module docs).
+    pub stats: AlgoStats,
+}
+
+/// The outcome of one batch: per-query results (in submission order) plus
+/// batch-aggregate I/O and wall time.
+pub struct BatchReport {
+    pub results: Vec<QueryResult>,
+    /// Buffer-pool traffic of the whole batch over the shared tree.
+    pub io: IoStats,
+    /// Wall-clock time of the batch (all workers).
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Sum of all matching costs.
+    pub fn total_cost(&self) -> f64 {
+        self.results.iter().map(|r| r.matching.cost()).sum()
+    }
+
+    /// Sum of per-query CPU time (exceeds `wall` when workers overlap).
+    pub fn total_cpu(&self) -> Duration {
+        self.results.iter().map(|r| r.stats.cpu_time).sum()
+    }
+
+    /// Aggregate algorithm counters across the batch, with the batch-level
+    /// I/O folded in.
+    pub fn aggregate_stats(&self) -> AlgoStats {
+        let mut agg = AlgoStats {
+            io: self.io,
+            ..Default::default()
+        };
+        for r in &self.results {
+            agg.esub_edges += r.stats.esub_edges;
+            agg.dijkstra_runs += r.stats.dijkstra_runs;
+            agg.pua_runs += r.stats.pua_runs;
+            agg.iterations += r.stats.iterations;
+            agg.invalid_paths += r.stats.invalid_paths;
+            agg.fast_phase_matches += r.stats.fast_phase_matches;
+            agg.cpu_time += r.stats.cpu_time;
+        }
+        agg
+    }
+}

@@ -7,10 +7,11 @@
 //! `Q` where each provider `q` serves at most `q.k` customers, CCA computes
 //! the maximum-size matching minimising the total Euclidean distance
 //! (Equation 1 of the paper). This crate bundles the whole workspace behind
-//! one façade:
+//! one façade. Algorithms are selected from data through the trait-based
+//! solver pipeline:
 //!
 //! ```
-//! use cca::{Algorithm, SpatialAssignment};
+//! use cca::{SolverConfig, SpatialAssignment};
 //! use cca::geo::Point;
 //!
 //! let providers = vec![
@@ -23,15 +24,19 @@
 //!     Point::new(88.0, 91.0),
 //! ];
 //! let instance = SpatialAssignment::build(providers, customers);
-//! let result = instance.run(Algorithm::Ida);
+//! let result = instance.run_config(&SolverConfig::new("ida")).unwrap();
 //! assert_eq!(result.matching.size(), 3);
 //! result.validate().unwrap();
 //! ```
 //!
+//! Many independent queries against one instance go through the parallel
+//! [`BatchRunner`]. The legacy [`Algorithm`] enum is kept as a thin
+//! back-compat wrapper that maps onto [`SolverConfig`]s.
+//!
 //! Sub-crates (re-exported below): [`geo`] geometry, [`storage`] the paged
 //! disk + LRU buffer, [`rtree`] the spatial index, [`flow`] the min-cost-flow
-//! substrate, [`core`] the CCA algorithms, [`datagen`] the workload
-//! generator reproducing the paper's data protocol.
+//! substrate, [`core`] the CCA algorithms and solver pipeline, [`datagen`]
+//! the workload generator reproducing the paper's data protocol.
 
 pub use cca_core as core;
 pub use cca_datagen as datagen;
@@ -40,14 +45,20 @@ pub use cca_geo as geo;
 pub use cca_rtree as rtree;
 pub use cca_storage as storage;
 
-use cca_core::exact::{ida, nia, ria, IdaConfig, NiaConfig, RiaConfig, RtreeSource};
-use cca_core::{approx, AlgoStats, Matching, RefineMethod};
-use cca_flow::sspa::{solve_complete_bipartite, unit_customers, FlowProvider};
+mod batch;
+
+pub use batch::{BatchReport, BatchRunner, QueryResult};
+pub use cca_core::solver::{Problem, Solver, SolverConfig, SolverRegistry, UnknownSolver};
+
+use cca_core::{AlgoStats, Matching, RefineMethod};
 use cca_geo::Point;
 use cca_rtree::RTree;
 use cca_storage::PageStore;
 
-/// Algorithm selector for [`SpatialAssignment::run`].
+/// Legacy algorithm selector, kept as a back-compat wrapper over
+/// [`SolverConfig`] — see [`Algorithm::to_config`]. New code should build
+/// configs directly and go through [`SpatialAssignment::run_config`] or the
+/// [`SolverRegistry`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Algorithm {
     /// Full-graph SSPA baseline (§2.2) — exact, memory-hungry, slow.
@@ -68,6 +79,21 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// The equivalent data-driven solver selection.
+    pub fn to_config(self) -> SolverConfig {
+        match self {
+            Algorithm::Sspa => SolverConfig::new("sspa"),
+            Algorithm::Ria { theta } => SolverConfig::new("ria").theta(theta),
+            Algorithm::Nia => SolverConfig::new("nia"),
+            Algorithm::Ida => SolverConfig::new("ida"),
+            Algorithm::IdaGrouped { group_size } => {
+                SolverConfig::new("ida-grouped").group_size(group_size)
+            }
+            Algorithm::Sa { delta, refine } => SolverConfig::new("sa").delta(delta).refine(refine),
+            Algorithm::Ca { delta, refine } => SolverConfig::new("ca").delta(delta).refine(refine),
+        }
+    }
+
     /// Chart label matching the paper's figures.
     pub fn label(&self) -> String {
         match self {
@@ -162,68 +188,44 @@ impl SpatialAssignment {
         cap.min(self.customers.len() as u64)
     }
 
-    /// Runs `algorithm` from a cold buffer cache and returns the matching
-    /// with CPU and charged-I/O statistics.
-    pub fn run(&self, algorithm: Algorithm) -> RunResult<'_> {
+    /// This instance as a solver-pipeline [`Problem`]: providers plus both
+    /// customer access paths (the R-tree and the in-memory slice).
+    pub fn problem(&self) -> Problem<'_> {
+        Problem::new(&self.providers)
+            .with_tree(&self.tree)
+            .with_customers(&self.customers)
+    }
+
+    /// Runs the solver selected by `config` (through the default
+    /// [`SolverRegistry`]) from a cold buffer cache.
+    pub fn run_config(&self, config: &SolverConfig) -> Result<RunResult<'_>, UnknownSolver> {
+        let solver = SolverRegistry::with_defaults().build(config)?;
+        Ok(self.run_solver(&*solver))
+    }
+
+    /// Runs `solver` from a cold buffer cache and returns the matching with
+    /// CPU and charged-I/O statistics.
+    pub fn run_solver(&self, solver: &dyn Solver) -> RunResult<'_> {
         self.tree.store().clear_cache();
         self.tree.store().reset_stats();
-        let qpos: Vec<Point> = self.providers.iter().map(|&(p, _)| p).collect();
-        let (matching, mut stats) = match algorithm {
-            Algorithm::Sspa => {
-                let fps: Vec<FlowProvider> = self
-                    .providers
-                    .iter()
-                    .map(|&(pos, cap)| FlowProvider { pos, cap })
-                    .collect();
-                let start = std::time::Instant::now();
-                let (asg, sspa_stats) = solve_complete_bipartite(&fps, &unit_customers(&self.customers));
-                let mut stats = AlgoStats {
-                    esub_edges: sspa_stats.edges,
-                    iterations: sspa_stats.iterations,
-                    ..Default::default()
-                };
-                stats.cpu_time = start.elapsed();
-                let pairs = asg
-                    .pairs
-                    .iter()
-                    .map(|&(qi, pj, units)| cca_core::MatchPair {
-                        provider: qi,
-                        customer: pj as u64,
-                        units,
-                        dist: self.providers[qi].0.dist(&self.customers[pj]),
-                        customer_pos: self.customers[pj],
-                    })
-                    .collect();
-                (Matching { pairs }, stats)
-            }
-            Algorithm::Ria { theta } => {
-                let mut src = RtreeSource::new(&self.tree, qpos);
-                ria(&self.providers, &mut src, &RiaConfig { theta })
-            }
-            Algorithm::Nia => {
-                let mut src = RtreeSource::new(&self.tree, qpos);
-                nia(&self.providers, &mut src, &NiaConfig::default())
-            }
-            Algorithm::Ida => {
-                let mut src = RtreeSource::new(&self.tree, qpos);
-                ida(&self.providers, &mut src, &IdaConfig::default())
-            }
-            Algorithm::IdaGrouped { group_size } => {
-                let mut src = RtreeSource::with_ann_groups(&self.tree, qpos, group_size);
-                ida(&self.providers, &mut src, &IdaConfig::default())
-            }
-            Algorithm::Sa { delta, refine } => {
-                approx::sa(&self.providers, &self.tree, &approx::SaConfig { delta, refine })
-            }
-            Algorithm::Ca { delta, refine } => {
-                approx::ca(&self.providers, &self.tree, &approx::CaConfig { delta, refine })
-            }
-        };
+        let (matching, mut stats) = solver.run(&self.problem());
         stats.io = self.tree.io_stats();
         RunResult {
             matching,
             stats,
             instance: self,
         }
+    }
+
+    /// Back-compat wrapper: runs a legacy [`Algorithm`] selection through
+    /// the solver pipeline.
+    pub fn run(&self, algorithm: Algorithm) -> RunResult<'_> {
+        self.run_config(&algorithm.to_config())
+            .expect("legacy algorithms map onto registered solvers")
+    }
+
+    /// A parallel batch runner over this instance's shared R-tree.
+    pub fn batch(&self) -> BatchRunner<'_> {
+        BatchRunner::new(self)
     }
 }

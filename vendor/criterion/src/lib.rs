@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's microbenchmarks use
+//! (`criterion_group!` / `criterion_main!`, [`Criterion`],
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! and `iter_batched`) with straightforward wall-clock timing: a short
+//! warm-up, then `sample_size` timed samples, reporting the mean per
+//! iteration. No statistics engine, no HTML reports — numbers land on
+//! stdout, which is all the figure-level harness needs offline.
+
+use std::fmt::Display;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility (every batch holds one input here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter, as in
+/// `BenchmarkId::new("bulk_load", n)`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.to_string(), self.sample_size, f);
+    }
+}
+
+/// A named group of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.criterion.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report-flush point in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// Iterations folded into each recorded sample.
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, amortised over enough iterations to dampen clock noise.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: aim for samples of at least ~1 ms each.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 1000);
+        self.iters_per_sample = iters as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.samples.push(t0.elapsed());
+    }
+
+    /// Times `routine` only, regenerating its input with `setup` each
+    /// iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.iters_per_sample = 1;
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.samples.push(t0.elapsed());
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    // Warm-up sample, discarded.
+    f(&mut b);
+    b.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{name:<48} mean {:>12} min {:>12} ({} samples)",
+        human(mean),
+        human(min),
+        per_iter.len()
+    );
+}
+
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Mirrors `criterion_group!`, both the struct-ish and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("iter", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |v| black_box(v * 2), BatchSize::SmallInput);
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1)));
+    }
+}

@@ -1,0 +1,375 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's tests use: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`, range and tuple strategies,
+//! [`Just`], [`any`], [`prop_oneof!`], [`collection::vec`] and the
+//! `prop_assert*` macros. No shrinking: a failing case panics with the
+//! sampled values still recoverable from the deterministic seed.
+//!
+//! Unlike the real crate, case generation is *deterministic*: the RNG for
+//! each test function is seeded from the test's name and the case index,
+//! so CI failures always reproduce locally.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies; a thin wrapper kept so the public API
+/// does not leak the vendored `rand`.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-(test, case) RNG.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | 0x9e37)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Run configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the generated value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+/// Types with a canonical "arbitrary" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// One boxed alternative of a [`Union`].
+pub type Arm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice between boxed alternative strategies; built by
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<Arm<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<Arm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    pub fn arm<S>(s: S) -> Arm<V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Box::new(move |rng| s.sample(rng))
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.random_range(0..self.arms.len());
+        (self.arms[idx])(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]. Implemented for integer ranges so
+    /// untyped literals like `1..200` (which default to `i32`) work exactly
+    /// as they do with the real proptest's `SizeRange`.
+    pub trait SizeRange {
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    macro_rules! impl_size_range {
+        ($($t:ty),*) => {$(
+            impl SizeRange for Range<$t> {
+                fn sample_len(&self, rng: &mut TestRng) -> usize {
+                    rng.random_range(self.clone()) as usize
+                }
+            }
+            impl SizeRange for RangeInclusive<$t> {
+                fn sample_len(&self, rng: &mut TestRng) -> usize {
+                    rng.random_range(self.clone()) as usize
+                }
+            }
+        )*};
+    }
+
+    impl_size_range!(i32, u32, usize);
+
+    /// Strategy for `Vec<S::Value>` with a range-driven length.
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec(elem, lens)`.
+    pub fn vec<S, L>(elem: S, len: L) -> VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: SizeRange,
+    {
+        VecStrategy { elem, len }
+    }
+
+    impl<S, L> Strategy for VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: SizeRange,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Union::arm($s)),+])
+    };
+}
+
+/// The `proptest!` test-definition macro: each contained function becomes a
+/// `#[test]` that samples its strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        A(u32),
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (0u32..10, -5i32..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+        }
+
+        #[test]
+        fn oneof_vec_and_map(ops in crate::collection::vec(
+            prop_oneof![(0u32..8).prop_map(Op::A), Just(Op::B)], 1..50)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 50);
+            for op in &ops {
+                match op {
+                    Op::A(v) => prop_assert!(*v < 8),
+                    Op::B => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        let s = 0u64..1000;
+        for _ in 0..10 {
+            prop_assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+        let mut c = crate::TestRng::for_case("t", 4);
+        prop_assert_ne!(
+            (0..10).map(|_| s.sample(&mut a)).collect::<Vec<_>>(),
+            (0..10).map(|_| s.sample(&mut c)).collect::<Vec<_>>()
+        );
+    }
+}

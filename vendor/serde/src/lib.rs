@@ -1,0 +1,567 @@
+//! Offline stand-in for `serde` (+ a built-in JSON codec).
+//!
+//! The build environment cannot fetch crates.io, so this crate provides the
+//! persistence layer the workspace gates behind its `serde` feature: a
+//! [`Serialize`] / [`Deserialize`] trait pair over a small self-describing
+//! [`Value`] model, plus a [`json`] reader/writer. Types implement the
+//! traits by hand (there is no proc-macro derive here); the impls are
+//! field-per-field maps, so swapping in the real `serde` + `serde_json`
+//! later is mechanical.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A self-describing value: the data model every serializable type maps
+/// into. Mirrors the JSON data model with integers kept exact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds a map value from `(key, value)` pairs.
+    pub fn map<const N: usize>(fields: [(&str, Value); N]) -> Value {
+        Value::Map(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up `key` in a map value.
+    pub fn get(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(m) => m
+                .get(key)
+                .ok_or_else(|| Error(format!("missing field `{key}`"))),
+            _ => Err(Error(format!("expected map with field `{key}`"))),
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range"))),
+                    _ => Err(Error(format!("expected unsigned integer, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range"))),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range"))),
+                    _ => Err(Error(format!("expected integer, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error(format!("expected number, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error(format!("expected sequence, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(Error(format!("expected 2-tuple, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("secs", Value::U64(self.as_secs())),
+            ("nanos", Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = u64::from_value(v.get("secs")?)?;
+        let nanos = u32::from_value(v.get("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+pub mod json {
+    //! Compact JSON writer and recursive-descent reader for [`Value`].
+
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::collections::BTreeMap;
+
+    /// Serializes `value` to a compact JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&value.to_value(), &mut out);
+        out
+    }
+
+    /// Parses JSON and deserializes into `T`.
+    pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+        T::from_value(&parse(s)?)
+    }
+
+    /// Parses JSON into a [`Value`].
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    fn write_value(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => {
+                assert!(x.is_finite(), "JSON cannot represent {x}");
+                // `{:?}` prints the shortest representation that round-trips
+                // and always includes a decimal point or exponent.
+                out.push_str(&format!("{x:?}"));
+            }
+            Value::Str(s) => write_string(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(item, out);
+                }
+                out.push(']');
+            }
+            Value::Map(m) => {
+                out.push('{');
+                for (i, (k, item)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    write_value(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error(format!(
+                    "expected `{}` at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(Error(format!("invalid literal at byte {}", self.pos)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'[') => self.seq(),
+                Some(b'{') => self.map(),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+                _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(Error("unterminated string".into())),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self
+                            .peek()
+                            .ok_or_else(|| Error("unterminated escape".into()))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| Error("bad \\u escape".into()))?,
+                                    16,
+                                )
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error("bad \\u code point".into()))?,
+                                );
+                            }
+                            other => {
+                                return Err(Error(format!("unknown escape `\\{}`", other as char)))
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| Error("invalid UTF-8".into()))?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut float = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            if float {
+                text.parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| Error(format!("bad number `{text}`")))
+            } else if text.starts_with('-') {
+                text.parse::<i64>()
+                    .map(Value::I64)
+                    .map_err(|_| Error(format!("bad number `{text}`")))
+            } else {
+                text.parse::<u64>()
+                    .map(Value::U64)
+                    .map_err(|_| Error(format!("bad number `{text}`")))
+            }
+        }
+
+        fn seq(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at {}", self.pos))),
+                }
+            }
+        }
+
+        fn map(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut m = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Map(m));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                m.insert(key, val);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Map(m));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at {}", self.pos))),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(json::from_str::<u64>(&json::to_string(&v)).unwrap(), v);
+        }
+        for v in [-5i64, 0, i64::MAX] {
+            assert_eq!(json::from_str::<i64>(&json::to_string(&v)).unwrap(), v);
+        }
+        for v in [0.0f64, -1.5, 1e-12, 123456.789] {
+            assert_eq!(json::from_str::<f64>(&json::to_string(&v)).unwrap(), v);
+        }
+        assert!(json::from_str::<bool>("true").unwrap());
+        let s = "quote \" slash \\ newline \n done".to_string();
+        assert_eq!(json::from_str::<String>(&json::to_string(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, -4.0)];
+        let json = json::to_string(&v);
+        assert_eq!(json::from_str::<Vec<(u32, f64)>>(&json).unwrap(), v);
+        let d = Duration::new(7, 123_456_789);
+        assert_eq!(json::from_str::<Duration>(&json::to_string(&d)).unwrap(), d);
+        assert_eq!(json::from_str::<Option<u32>>("null").unwrap(), None::<u32>);
+    }
+
+    #[test]
+    fn map_values_parse_with_whitespace() {
+        let v = json::parse(" { \"a\" : [ 1 , 2.0 ] , \"b\" : \"x\" } ").unwrap();
+        assert_eq!(v.get("b").unwrap(), &Value::Str("x".into()));
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+    }
+}
