@@ -1,0 +1,197 @@
+//! Buffer-pool contention benchmark: sharded vs single-shard under
+//! concurrent query load.
+//!
+//! Two workloads over one shared instance, each at 1/2/4/8 worker threads
+//! and with `shards = 1` (the old global-mutex behaviour) vs a sharded
+//! pool:
+//!
+//! * `knn` — threads issuing independent session-attributed kNN searches;
+//!   nearly all time is spent inside the page store, so this isolates the
+//!   shard locks themselves.
+//! * `batch` — the façade's `BatchRunner` executing a mixed solver batch,
+//!   the end-to-end serving shape.
+//!
+//! Writes the measured throughputs to `BENCH_pool.json` (override the path
+//! with `CCA_BENCH_OUT`). Run with `cargo bench --bench pool_contention`.
+
+use std::time::Instant;
+
+use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca::geo::Point;
+use cca::storage::IoSession;
+use cca::{SolverConfig, SpatialAssignment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SHARD_COUNTS: [usize; 2] = [1, 8];
+const KNN_QUERIES_PER_THREAD: usize = 200;
+const KNN_K: usize = 64;
+const REPEATS: usize = 11;
+
+fn build(shards: usize) -> SpatialAssignment {
+    let w = WorkloadConfig {
+        num_providers: 24,
+        num_customers: 20_000,
+        capacity: CapacitySpec::Fixed(100),
+        q_dist: SpatialDistribution::Clustered,
+        p_dist: SpatialDistribution::Clustered,
+        seed: 7,
+    }
+    .generate();
+    SpatialAssignment::build_with_storage_sharded(w.providers, w.customers, 1024, 16.0, shards)
+}
+
+/// One concurrent-kNN round: `threads` workers, each with its own session,
+/// issuing independent searches against the shared tree. Returns q/s.
+fn knn_round(instance: &SpatialAssignment, threads: usize) -> f64 {
+    let tree = instance.tree();
+    tree.store().clear_cache();
+    tree.store().reset_stats();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let session = IoSession::new();
+                let mut rng = StdRng::seed_from_u64(100 + t as u64);
+                for _ in 0..KNN_QUERIES_PER_THREAD {
+                    let q =
+                        Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0));
+                    let hits = tree.knn_session(q, KNN_K, Some(&session));
+                    assert_eq!(hits.len(), KNN_K);
+                }
+                assert!(session.stats().logical_reads() > 0);
+            });
+        }
+    });
+    (threads * KNN_QUERIES_PER_THREAD) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// IDA-heavy solver mix: the incremental NN solvers live on the page
+/// store, so the batch actually exercises the pool (CA/SA are mostly
+/// solver CPU).
+fn batch_queries() -> Vec<SolverConfig> {
+    let mut queries = Vec::new();
+    for group_size in [4, 8, 16] {
+        queries.push(SolverConfig::new("ida-grouped").group_size(group_size));
+    }
+    for _ in 0..3 {
+        queries.push(SolverConfig::new("ida"));
+    }
+    for delta in [10.0, 20.0] {
+        queries.push(SolverConfig::new("ca").delta(delta));
+        queries.push(SolverConfig::new("sa").delta(2.0 * delta));
+    }
+    queries
+}
+
+/// One mixed batch through the `BatchRunner`. Returns queries/second.
+fn batch_round(instance: &SpatialAssignment, queries: &[SolverConfig], threads: usize) -> f64 {
+    let runner = instance.batch().threads(threads);
+    let start = Instant::now();
+    let report = runner.run(queries).expect("registered solvers");
+    let wall = start.elapsed().as_secs_f64();
+    // Attribution must hold under every thread/shard combination.
+    let fault_sum: u64 = report.results.iter().map(|r| r.stats.io.faults).sum();
+    assert_eq!(fault_sum, report.io.faults, "per-query faults must sum up");
+    queries.len() as f64 / wall
+}
+
+struct Row {
+    workload: &'static str,
+    shards: usize,
+    threads: usize,
+    qps: f64,
+}
+
+fn main() {
+    // Both configurations are built up front and measured *interleaved*,
+    // round-robin within every repeat, so clock/thermal drift over the
+    // run cannot systematically favour whichever config runs later.
+    let instances: Vec<(usize, SpatialAssignment)> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| (shards, build(shards)))
+        .collect();
+    for (shards, instance) in &instances {
+        println!(
+            "# shards={shards}: |P|={} pages={} buffer={} pages",
+            instance.customers().len(),
+            instance.tree().store().num_pages(),
+            instance.tree().store().buffer_capacity(),
+        );
+    }
+    let queries = batch_queries();
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let mut best_knn = vec![0.0f64; instances.len()];
+        let mut best_batch = vec![0.0f64; instances.len()];
+        // Warmup round per configuration (cold allocator/scheduler).
+        for (_, instance) in &instances {
+            knn_round(instance, threads);
+            batch_round(instance, &queries, threads);
+        }
+        for _ in 0..REPEATS {
+            for (i, (_, instance)) in instances.iter().enumerate() {
+                best_knn[i] = best_knn[i].max(knn_round(instance, threads));
+                best_batch[i] = best_batch[i].max(batch_round(instance, &queries, threads));
+            }
+        }
+        for (i, (shards, _)) in instances.iter().enumerate() {
+            println!(
+                "shards={shards:2} threads={threads:2}  knn={:9.1} q/s  batch={:7.2} q/s",
+                best_knn[i], best_batch[i]
+            );
+            rows.push(Row {
+                workload: "knn",
+                shards: *shards,
+                threads,
+                qps: best_knn[i],
+            });
+            rows.push(Row {
+                workload: "batch",
+                shards: *shards,
+                threads,
+                qps: best_batch[i],
+            });
+        }
+    }
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"shards\": {}, \"threads\": {}, \"qps\": {:.2}}}",
+                r.workload, r.shards, r.threads, r.qps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pool_contention\",\n  \"config\": {{\"customers\": 20000, \
+         \"providers\": 24, \"page_size\": 1024, \"buffer_percent\": 16.0, \
+         \"knn_queries_per_thread\": {KNN_QUERIES_PER_THREAD}, \"knn_k\": {KNN_K}}},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    // Default to the workspace root (cargo bench runs in the package dir).
+    let out = std::env::var("CCA_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pool.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+
+    // The headline claim: at 8 worker threads a sharded pool must not be
+    // slower than the single-shard (old global-mutex) configuration.
+    let qps = |workload: &str, shards: usize| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.shards == shards && r.threads == 8)
+            .map(|r| r.qps)
+            .unwrap()
+    };
+    for workload in ["knn", "batch"] {
+        let sharded = qps(workload, 8);
+        let single = qps(workload, 1);
+        println!(
+            "{workload}@8t: sharded {sharded:.1} q/s vs single-shard {single:.1} q/s ({:+.1}%)",
+            (sharded / single - 1.0) * 100.0
+        );
+    }
+}

@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use cca_geo::{Point, Rect};
 use cca_rtree::{CustomerGroup, RTree};
+use cca_storage::IoSession;
 
 use crate::approx::grouping::greedy_hilbert_groups;
 use crate::approx::refine::{refine, RefineMethod, RefineProvider};
@@ -45,10 +46,20 @@ struct MergedGroup {
 
 /// Runs CA over providers and the R-tree-indexed customers.
 pub fn ca(providers: &[(Point, u32)], tree: &RTree, cfg: &CaConfig) -> (Matching, AlgoStats) {
+    ca_session(providers, tree, cfg, None)
+}
+
+/// [`ca`] with the partition descent's R-tree I/O charged to `session`.
+pub fn ca_session(
+    providers: &[(Point, u32)],
+    tree: &RTree,
+    cfg: &CaConfig,
+    session: Option<&IoSession>,
+) -> (Matching, AlgoStats) {
     let start = Instant::now();
 
     // Phase 1a: diagonal-bounded partition descent (§4.2).
-    let base: Vec<CustomerGroup> = tree.partition_by_diagonal(cfg.delta);
+    let base: Vec<CustomerGroup> = tree.partition_by_diagonal_session(cfg.delta, session);
 
     // Phase 1b: merge entries into hyper-entries still satisfying δ.
     let merge = greedy_hilbert_groups(&base, |g| g.mbr.center(), |g| g.mbr, cfg.delta);

@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use cca_geo::Point;
 use cca_rtree::RTree;
+use cca_storage::IoSession;
 
 use crate::approx::grouping::partition_providers;
 use crate::approx::refine::{refine, RefineMethod, RefineProvider};
@@ -38,6 +39,16 @@ impl Default for SaConfig {
 
 /// Runs SA over providers and the R-tree-indexed customers.
 pub fn sa(providers: &[(Point, u32)], tree: &RTree, cfg: &SaConfig) -> (Matching, AlgoStats) {
+    sa_session(providers, tree, cfg, None)
+}
+
+/// [`sa`] with the concise-matching phase's R-tree I/O charged to `session`.
+pub fn sa_session(
+    providers: &[(Point, u32)],
+    tree: &RTree,
+    cfg: &SaConfig,
+    session: Option<&IoSession>,
+) -> (Matching, AlgoStats) {
     let start = Instant::now();
 
     // Phase 1: partitioning (§4.1).
@@ -46,7 +57,7 @@ pub fn sa(providers: &[(Point, u32)], tree: &RTree, cfg: &SaConfig) -> (Matching
 
     // Phase 2: concise matching — exact CCA between Q' and P via IDA.
     let rep_positions: Vec<Point> = reps.iter().map(|&(p, _)| p).collect();
-    let mut source = RtreeSource::new(tree, rep_positions);
+    let mut source = RtreeSource::new_session(tree, rep_positions, session);
     let (concise, concise_stats) = ida(&reps, &mut source, &IdaConfig::default());
 
     // Phase 3: per-group refinement (§4.3). Each group's customer share is

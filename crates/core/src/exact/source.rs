@@ -8,6 +8,7 @@
 
 use cca_geo::Point;
 use cca_rtree::{GroupAnn, IncNn, RTree};
+use cca_storage::IoSession;
 
 /// A customer record yielded by a source.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,6 +67,9 @@ pub struct RtreeSource<'t> {
     tree: &'t RTree,
     providers: Vec<Point>,
     cursors: Cursors<'t>,
+    /// Attribution session shared by every cursor and range search this
+    /// source issues; the whole query's tree traffic lands in one place.
+    session: Option<IoSession>,
 }
 
 enum Cursors<'t> {
@@ -80,17 +84,43 @@ enum Cursors<'t> {
 impl<'t> RtreeSource<'t> {
     /// One independent incremental-NN cursor per provider.
     pub fn new(tree: &'t RTree, providers: Vec<Point>) -> Self {
-        let cursors = Cursors::Plain(providers.iter().map(|&q| tree.inc_nn(q)).collect());
+        Self::new_session(tree, providers, None)
+    }
+
+    /// [`RtreeSource::new`] with all traversal I/O charged to `session`.
+    pub fn new_session(
+        tree: &'t RTree,
+        providers: Vec<Point>,
+        session: Option<&IoSession>,
+    ) -> Self {
+        let cursors = Cursors::Plain(
+            providers
+                .iter()
+                .map(|&q| tree.inc_nn_session(q, session))
+                .collect(),
+        );
         RtreeSource {
             tree,
             providers,
             cursors,
+            session: session.cloned(),
         }
     }
 
     /// Grouped incremental ANN (§3.4.2): providers are Hilbert-sorted and cut
     /// into groups of `group_size`; members of a group share R-tree reads.
     pub fn with_ann_groups(tree: &'t RTree, providers: Vec<Point>, group_size: usize) -> Self {
+        Self::with_ann_groups_session(tree, providers, group_size, None)
+    }
+
+    /// [`RtreeSource::with_ann_groups`] with all traversal I/O charged to
+    /// `session`.
+    pub fn with_ann_groups_session(
+        tree: &'t RTree,
+        providers: Vec<Point>,
+        group_size: usize,
+        session: Option<&IoSession>,
+    ) -> Self {
         assert!(group_size >= 1);
         let order = cca_geo::hilbert::sort_by_hilbert(&providers, cca_geo::WORLD_SIZE);
         let mut groups = Vec::new();
@@ -101,12 +131,13 @@ impl<'t> RtreeSource<'t> {
             for (m, &i) in chunk.iter().enumerate() {
                 map[i] = (gidx, m as u32);
             }
-            groups.push(tree.group_ann(members));
+            groups.push(tree.group_ann_session(members, session));
         }
         RtreeSource {
             tree,
             providers,
             cursors: Cursors::Grouped { groups, map },
+            session: session.cloned(),
         }
     }
 }
@@ -138,10 +169,11 @@ impl CustomerSource for RtreeSource<'_> {
 
     fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer> {
         let q = self.providers[qi];
+        let session = self.session.as_ref();
         let hits = if include_lo {
-            self.tree.range_search(q, hi)
+            self.tree.range_search_session(q, hi, session)
         } else {
-            self.tree.annular_range_search(q, lo, hi)
+            self.tree.annular_range_search_session(q, lo, hi, session)
         };
         hits.into_iter()
             .map(|(pos, id, dist)| SourcedCustomer {

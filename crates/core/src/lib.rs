@@ -20,7 +20,10 @@ pub mod matching;
 pub mod solver;
 pub mod stats;
 
-pub use approx::{ca, ca_error_bound, sa, sa_error_bound, CaConfig, RefineMethod, SaConfig};
+pub use approx::{
+    ca, ca_error_bound, ca_session, sa, sa_error_bound, sa_session, CaConfig, RefineMethod,
+    SaConfig,
+};
 pub use exact::{
     ida, nia, ria, CustomerSource, IdaConfig, IdaKeyMode, MemorySource, NiaConfig, RiaConfig,
     RtreeSource,

@@ -61,8 +61,9 @@ pub trait Solver: Send + Sync {
     }
 
     /// Solves `problem` over `source`, returning the matching and the
-    /// paper's per-run measurements (I/O attribution is the caller's job:
-    /// the source's tree counts faults globally).
+    /// paper's per-run measurements. Implementations leave
+    /// [`AlgoStats::io`] untouched — [`Solver::run`] fills it from the
+    /// problem's [`cca_storage::IoSession`] when one is attached.
     fn solve(
         &self,
         problem: &Problem<'_>,
@@ -70,9 +71,20 @@ pub trait Solver: Send + Sync {
     ) -> (Matching, AlgoStats);
 
     /// Convenience: build the preferred source and solve.
+    ///
+    /// When the problem carries an attribution session, the session traffic
+    /// accrued during this run (source construction included — grouped-ANN
+    /// sources may touch the tree eagerly) is copied into the returned
+    /// [`AlgoStats::io`], giving per-query I/O even when many runs share
+    /// one buffer pool concurrently.
     fn run(&self, problem: &Problem<'_>) -> (Matching, AlgoStats) {
+        let io_before = problem.session().map(|s| s.stats());
         let mut source = self.make_source(problem);
-        self.solve(problem, &mut *source)
+        let (matching, mut stats) = self.solve(problem, &mut *source);
+        if let (Some(session), Some(before)) = (problem.session(), io_before) {
+            stats.io = session.stats().since(&before);
+        }
+        (matching, stats)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use cca_geo::Point;
 use cca_rtree::RTree;
+use cca_storage::IoSession;
 
 use crate::exact::{CustomerSource, MemorySource, RtreeSource};
 
@@ -26,6 +27,7 @@ pub struct Problem<'a> {
     providers: &'a [(Point, u32)],
     tree: Option<&'a RTree>,
     customers: Option<&'a [Point]>,
+    session: Option<&'a IoSession>,
 }
 
 impl<'a> Problem<'a> {
@@ -35,6 +37,7 @@ impl<'a> Problem<'a> {
             providers,
             tree: None,
             customers: None,
+            session: None,
         }
     }
 
@@ -48,6 +51,20 @@ impl<'a> Problem<'a> {
     pub fn with_customers(mut self, customers: &'a [Point]) -> Self {
         self.customers = Some(customers);
         self
+    }
+
+    /// Attaches a per-query I/O attribution session: every page the query
+    /// touches (via its sources or direct tree descents) is charged there,
+    /// and [`crate::solver::Solver::run`] copies the session's traffic into
+    /// the returned [`crate::stats::AlgoStats::io`].
+    pub fn with_session(mut self, session: &'a IoSession) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// The attached attribution session, if any.
+    pub fn session(&self) -> Option<&'a IoSession> {
+        self.session
     }
 
     /// Providers (position, capacity).
@@ -92,7 +109,11 @@ impl<'a> Problem<'a> {
     /// If neither a tree nor a customer slice is attached.
     pub fn source(&self) -> Box<dyn CustomerSource + 'a> {
         match (self.tree, self.customers) {
-            (Some(tree), _) => Box::new(RtreeSource::new(tree, self.provider_positions())),
+            (Some(tree), _) => Box::new(RtreeSource::new_session(
+                tree,
+                self.provider_positions(),
+                self.session,
+            )),
             (None, Some(customers)) => Box::new(MemorySource::new(
                 self.provider_positions(),
                 customers.iter().map(|&p| (p, 1)).collect(),
@@ -107,10 +128,11 @@ impl<'a> Problem<'a> {
     /// when the problem is memory-resident.
     pub fn grouped_source(&self, group_size: usize) -> Box<dyn CustomerSource + 'a> {
         match self.tree {
-            Some(tree) => Box::new(RtreeSource::with_ann_groups(
+            Some(tree) => Box::new(RtreeSource::with_ann_groups_session(
                 tree,
                 self.provider_positions(),
                 group_size,
+                self.session,
             )),
             None => self.source(),
         }

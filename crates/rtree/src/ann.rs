@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use cca_geo::{OrdF64, Point, Rect};
-use cca_storage::PageId;
+use cca_storage::{IoSession, PageId};
 
 use crate::entry::ItemId;
 use crate::node;
@@ -63,6 +63,8 @@ pub struct GroupAnn<'t> {
     res: Vec<BinaryHeap<Reverse<Candidate>>>,
     /// Points already handed to candidate heaps (for accounting/tests).
     points_seen: usize,
+    /// Per-query attribution handle for every page this group search reads.
+    session: Option<IoSession>,
 }
 
 impl<'t> GroupAnn<'t> {
@@ -72,6 +74,11 @@ impl<'t> GroupAnn<'t> {
     /// Panics on an empty member list — groups come from Hilbert
     /// partitioning which never emits empty groups.
     pub fn new(tree: &'t RTree, members: Vec<Point>) -> Self {
+        Self::with_session(tree, members, None)
+    }
+
+    /// [`GroupAnn::new`] with the search's I/O charged to `session`.
+    pub fn with_session(tree: &'t RTree, members: Vec<Point>, session: Option<IoSession>) -> Self {
         assert!(!members.is_empty(), "ANN group must be non-empty");
         let group_mbr: Rect = members.iter().copied().collect();
         let mut hm = BinaryHeap::new();
@@ -90,6 +97,7 @@ impl<'t> GroupAnn<'t> {
             hm,
             res,
             points_seen: 0,
+            session,
         }
     }
 
@@ -144,11 +152,12 @@ impl<'t> GroupAnn<'t> {
     fn expand_top(&mut self) {
         let Reverse(key) = self.hm.pop().expect("expand_top on empty Hm");
         let page = PageId(key.page);
+        let session = self.session.as_ref();
         if key.level_height == 1 {
             let members = &self.members;
             let res = &mut self.res;
             let mut seen = 0usize;
-            self.tree.store().with_page(page, |bytes| {
+            self.tree.store().with_page_session(page, session, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
                     seen += 1;
                     for (m, heap) in members.iter().zip(res.iter_mut()) {
@@ -164,7 +173,7 @@ impl<'t> GroupAnn<'t> {
         } else {
             let gm = self.group_mbr;
             let hm = &mut self.hm;
-            self.tree.store().with_page(page, |bytes| {
+            self.tree.store().with_page_session(page, session, |bytes| {
                 node::for_each_inner_entry(bytes, |mbr, child| {
                     hm.push(Reverse(GroupHeapKey {
                         dist: OrdF64::new(gm.mindist_rect(&mbr)),
@@ -182,6 +191,15 @@ impl RTree {
     /// positions (one Hilbert group, §3.4.2).
     pub fn group_ann(&self, members: Vec<Point>) -> GroupAnn<'_> {
         GroupAnn::new(self, members)
+    }
+
+    /// [`RTree::group_ann`] with the search's I/O charged to `session`.
+    pub fn group_ann_session(
+        &self,
+        members: Vec<Point>,
+        session: Option<&IoSession>,
+    ) -> GroupAnn<'_> {
+        GroupAnn::with_session(self, members, session.cloned())
     }
 }
 
@@ -248,7 +266,10 @@ mod tests {
     #[test]
     fn grouped_search_saves_io_versus_individual() {
         let items = random_items(30000, 43);
-        let tree = RTree::bulk_load(PageStore::with_config(1024, 16384), &items);
+        // shards = 1: the grouped-vs-solo fault comparison assumes the
+        // paper's single global LRU; per-shard capacity floors on many-core
+        // hosts would grow the effective buffer and blur the contrast.
+        let tree = RTree::bulk_load(PageStore::with_config_sharded(1024, 16384, 1), &items);
         tree.finish_build(1.0);
 
         // Ten co-located providers each pulling 200 NNs.

@@ -10,7 +10,7 @@ use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use cca_geo::{OrdF64, Point};
-use cca_storage::PageId;
+use cca_storage::{IoSession, PageId};
 
 use crate::entry::ItemId;
 use crate::node;
@@ -68,10 +68,13 @@ pub struct IncNn<'t> {
     query: Point,
     heap: BinaryHeap<Reverse<HeapItem>>,
     yielded: usize,
+    /// Per-query attribution handle; every page this cursor faults or hits
+    /// is charged here in addition to the store's shard counters.
+    session: Option<IoSession>,
 }
 
 impl<'t> IncNn<'t> {
-    pub(crate) fn new(tree: &'t RTree, query: Point) -> Self {
+    pub(crate) fn new(tree: &'t RTree, query: Point, session: Option<IoSession>) -> Self {
         let mut heap = BinaryHeap::new();
         if !tree.is_empty() {
             heap.push(Reverse(HeapItem {
@@ -84,6 +87,7 @@ impl<'t> IncNn<'t> {
             query,
             heap,
             yielded: 0,
+            session,
         }
     }
 
@@ -114,8 +118,9 @@ impl<'t> IncNn<'t> {
     fn expand(&mut self, page: PageId, level_height: u32) {
         let q = self.query;
         let heap = &mut self.heap;
+        let session = self.session.as_ref();
         if level_height == 1 {
-            self.tree.store().with_page(page, |bytes| {
+            self.tree.store().with_page_session(page, session, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
                     heap.push(Reverse(HeapItem {
                         dist: OrdF64::new(q.dist(&p)),
@@ -124,7 +129,7 @@ impl<'t> IncNn<'t> {
                 });
             });
         } else {
-            self.tree.store().with_page(page, |bytes| {
+            self.tree.store().with_page_session(page, session, |bytes| {
                 node::for_each_inner_entry(bytes, |mbr, child| {
                     heap.push(Reverse(HeapItem {
                         dist: OrdF64::new(mbr.mindist(&q)),
@@ -155,12 +160,27 @@ impl Iterator for IncNn<'_> {
 impl RTree {
     /// Opens an incremental NN cursor at `query`.
     pub fn inc_nn(&self, query: Point) -> IncNn<'_> {
-        IncNn::new(self, query)
+        IncNn::new(self, query, None)
+    }
+
+    /// [`RTree::inc_nn`] with the cursor's I/O charged to `session`.
+    pub fn inc_nn_session(&self, query: Point, session: Option<&IoSession>) -> IncNn<'_> {
+        IncNn::new(self, query, session.cloned())
     }
 
     /// The `k` nearest neighbours of `query` in ascending distance order.
     pub fn knn(&self, query: Point, k: usize) -> Vec<(Point, ItemId, f64)> {
         self.inc_nn(query).take(k).collect()
+    }
+
+    /// [`RTree::knn`] with the search's I/O charged to `session`.
+    pub fn knn_session(
+        &self,
+        query: Point,
+        k: usize,
+        session: Option<&IoSession>,
+    ) -> Vec<(Point, ItemId, f64)> {
+        self.inc_nn_session(query, session).take(k).collect()
     }
 }
 
@@ -272,6 +292,23 @@ mod tests {
         let nn = tree.knn(Point::new(5.0, 5.0), 1);
         assert_eq!(nn[0].1, 0);
         assert_eq!(nn[0].2, 0.0);
+    }
+
+    #[test]
+    fn session_sees_exactly_the_cursor_traffic() {
+        use cca_storage::IoSession;
+        let items = random_items(5000, 27);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
+        tree.finish_build(100.0);
+        let session = IoSession::new();
+        let before = tree.io_stats();
+        let _ = tree.knn_session(Point::new(500.0, 500.0), 200, Some(&session));
+        let delta = tree.io_stats().since(&before);
+        assert!(session.stats().faults > 0, "kNN must fault cold pages");
+        assert_eq!(session.stats(), delta, "session mirrors the global delta");
+        // A sessionless search on the same tree charges nothing to it.
+        let _ = tree.knn(Point::new(100.0, 100.0), 50);
+        assert_eq!(session.stats(), delta);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! by the concise matching phase.
 
 use cca_geo::{Point, Rect};
-use cca_storage::PageId;
+use cca_storage::{IoSession, PageId};
 
 use crate::entry::ItemId;
 use crate::node::{self};
@@ -47,12 +47,22 @@ impl RTree {
     ///
     /// Every returned group is non-empty and the groups partition `P`.
     pub fn partition_by_diagonal(&self, delta: f64) -> Vec<CustomerGroup> {
+        self.partition_by_diagonal_session(delta, None)
+    }
+
+    /// [`RTree::partition_by_diagonal`] with the descent's I/O charged to
+    /// `session`.
+    pub fn partition_by_diagonal_session(
+        &self,
+        delta: f64,
+        session: Option<&IoSession>,
+    ) -> Vec<CustomerGroup> {
         assert!(delta > 0.0, "delta must be positive");
         let mut out = Vec::new();
         if self.is_empty() {
             return out;
         }
-        self.partition_rec(self.root(), self.height(), delta, &mut out);
+        self.partition_rec(self.root(), self.height(), delta, session, &mut out);
         out
     }
 
@@ -61,27 +71,29 @@ impl RTree {
         page: PageId,
         level_height: u32,
         delta: f64,
+        session: Option<&IoSession>,
         out: &mut Vec<CustomerGroup>,
     ) {
         if level_height > 1 {
             // Inner node: entries small enough become groups wholesale;
             // larger ones are descended into.
-            let entries: Vec<(Rect, PageId)> = self.store().with_page(page, |bytes| {
-                let mut v = Vec::with_capacity(node::entry_count(bytes));
-                node::for_each_inner_entry(bytes, |mbr, child| v.push((mbr, child)));
-                v
-            });
+            let entries: Vec<(Rect, PageId)> =
+                self.store().with_page_session(page, session, |bytes| {
+                    let mut v = Vec::with_capacity(node::entry_count(bytes));
+                    node::for_each_inner_entry(bytes, |mbr, child| v.push((mbr, child)));
+                    v
+                });
             for (mbr, child) in entries {
                 if mbr.diagonal() <= delta {
                     let mut members = Vec::new();
-                    self.for_each_point_under(child, level_height - 1, &mut |p, id| {
+                    self.for_each_point_under(child, level_height - 1, session, &mut |p, id| {
                         members.push((p, id));
                     });
                     if !members.is_empty() {
                         out.push(CustomerGroup { mbr, members });
                     }
                 } else {
-                    self.partition_rec(child, level_height - 1, delta, out);
+                    self.partition_rec(child, level_height - 1, delta, session, out);
                 }
             }
             return;
@@ -90,7 +102,7 @@ impl RTree {
         // Leaf: collect the points, then conceptually split until the
         // δ constraint holds.
         let mut members = Vec::new();
-        self.store().with_page(page, |bytes| {
+        self.store().with_page_session(page, session, |bytes| {
             node::for_each_leaf_entry(bytes, |p, id| members.push((p, id)));
         });
         if members.is_empty() {

@@ -5,7 +5,7 @@
 //! `(T − θ, T]` — both implemented here with MBR-based pruning.
 
 use cca_geo::Point;
-use cca_storage::PageId;
+use cca_storage::{IoSession, PageId};
 
 use crate::entry::ItemId;
 use crate::node;
@@ -15,8 +15,18 @@ impl RTree {
     /// Returns all points within Euclidean distance `r` of `center`
     /// (inclusive), together with their distances.
     pub fn range_search(&self, center: Point, r: f64) -> Vec<(Point, ItemId, f64)> {
+        self.range_search_session(center, r, None)
+    }
+
+    /// [`RTree::range_search`] with the search's I/O charged to `session`.
+    pub fn range_search_session(
+        &self,
+        center: Point,
+        r: f64,
+        session: Option<&IoSession>,
+    ) -> Vec<(Point, ItemId, f64)> {
         let mut out = Vec::new();
-        self.range_into(center, 0.0, r, true, &mut out);
+        self.range_into(center, 0.0, r, true, session, &mut out);
         out
     }
 
@@ -32,8 +42,19 @@ impl RTree {
         lo: f64,
         hi: f64,
     ) -> Vec<(Point, ItemId, f64)> {
+        self.annular_range_search_session(center, lo, hi, None)
+    }
+
+    /// [`RTree::annular_range_search`] charged to `session`.
+    pub fn annular_range_search_session(
+        &self,
+        center: Point,
+        lo: f64,
+        hi: f64,
+        session: Option<&IoSession>,
+    ) -> Vec<(Point, ItemId, f64)> {
         let mut out = Vec::new();
-        self.range_into(center, lo, hi, false, &mut out);
+        self.range_into(center, lo, hi, false, session, &mut out);
         out
     }
 
@@ -45,12 +66,22 @@ impl RTree {
         lo: f64,
         hi: f64,
         include_lo: bool,
+        session: Option<&IoSession>,
         out: &mut Vec<(Point, ItemId, f64)>,
     ) {
         if hi < 0.0 {
             return;
         }
-        self.range_rec(self.root(), self.height(), center, lo, hi, include_lo, out);
+        self.range_rec(
+            self.root(),
+            self.height(),
+            center,
+            lo,
+            hi,
+            include_lo,
+            session,
+            out,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -62,10 +93,11 @@ impl RTree {
         lo: f64,
         hi: f64,
         include_lo: bool,
+        session: Option<&IoSession>,
         out: &mut Vec<(Point, ItemId, f64)>,
     ) {
         if level_height == 1 {
-            self.store().with_page(page, |bytes| {
+            self.store().with_page_session(page, session, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
                     let d = center.dist(&p);
                     let above_lo = if include_lo { d >= lo } else { d > lo };
@@ -79,7 +111,7 @@ impl RTree {
         // Children that may contain qualifying points: the subtree MBR must
         // intersect the annulus — mindist <= hi and maxdist >= lo (a subtree
         // entirely inside the inner disk cannot contribute).
-        let children: Vec<PageId> = self.store().with_page(page, |bytes| {
+        let children: Vec<PageId> = self.store().with_page_session(page, session, |bytes| {
             let mut v = Vec::new();
             node::for_each_inner_entry(bytes, |mbr, child| {
                 if mbr.mindist(&center) <= hi && mbr.maxdist(&center) >= lo {
@@ -89,7 +121,16 @@ impl RTree {
             v
         });
         for c in children {
-            self.range_rec(c, level_height - 1, center, lo, hi, include_lo, out);
+            self.range_rec(
+                c,
+                level_height - 1,
+                center,
+                lo,
+                hi,
+                include_lo,
+                session,
+                out,
+            );
         }
     }
 }

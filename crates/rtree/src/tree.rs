@@ -1,7 +1,7 @@
 //! The paged R-tree.
 
 use cca_geo::Rect;
-use cca_storage::{IoStats, PageId, PageStore};
+use cca_storage::{IoSession, IoStats, PageId, PageStore};
 
 use crate::entry::{InnerEntry, ItemId, LeafEntry};
 use crate::node::{self, Node};
@@ -140,7 +140,16 @@ impl RTree {
     /// Streams all points of the tree in depth-first order (test helper and
     /// CA-partition support). Charges the same I/O a real scan would.
     pub fn for_each_point(&self, mut f: impl FnMut(cca_geo::Point, ItemId)) {
-        self.for_each_point_under(self.root, self.height, &mut f);
+        self.for_each_point_under(self.root, self.height, None, &mut f);
+    }
+
+    /// [`RTree::for_each_point`] with the scan's I/O charged to `session`.
+    pub fn for_each_point_session(
+        &self,
+        session: Option<&IoSession>,
+        mut f: impl FnMut(cca_geo::Point, ItemId),
+    ) {
+        self.for_each_point_under(self.root, self.height, session, &mut f);
     }
 
     /// Streams all points below the given node.
@@ -148,20 +157,21 @@ impl RTree {
         &self,
         page: PageId,
         level_height: u32,
+        session: Option<&IoSession>,
         f: &mut impl FnMut(cca_geo::Point, ItemId),
     ) {
         if level_height == 1 {
-            self.store.with_page(page, |bytes| {
+            self.store.with_page_session(page, session, |bytes| {
                 node::for_each_leaf_entry(bytes, f);
             });
         } else {
-            let children: Vec<PageId> = self.store.with_page(page, |bytes| {
+            let children: Vec<PageId> = self.store.with_page_session(page, session, |bytes| {
                 let mut v = Vec::with_capacity(node::entry_count(bytes));
                 node::for_each_inner_entry(bytes, |_, c| v.push(c));
                 v
             });
             for c in children {
-                self.for_each_point_under(c, level_height - 1, f);
+                self.for_each_point_under(c, level_height - 1, session, f);
             }
         }
     }
@@ -251,7 +261,9 @@ mod tests {
 
     #[test]
     fn finish_build_applies_one_percent_rule() {
-        let store = PageStore::with_config(1024, 4096);
+        // shards = 1: multi-shard stores floor the capacity at one page per
+        // shard, which would mask the exact 1 % arithmetic checked here.
+        let store = PageStore::with_config_sharded(1024, 4096, 1);
         // Allocate ~300 pages by hand to exercise the rule.
         let t = RTree::new(store);
         for _ in 0..299 {

@@ -25,6 +25,9 @@ pub struct BufferPool {
     /// are dense, so a vector beats a hash map here.
     page_table: Vec<u32>,
     lru: LruList,
+    /// Allocated frames currently holding no page (detached by
+    /// [`BufferPool::clear`]); popped in O(1) before growing or evicting.
+    free: Vec<u32>,
     stats: IoStats,
 }
 
@@ -37,6 +40,7 @@ impl BufferPool {
             frames: Vec::new(),
             page_table: Vec::new(),
             lru: LruList::new(capacity),
+            free: Vec::new(),
             stats: IoStats::default(),
         }
     }
@@ -50,7 +54,14 @@ impl BufferPool {
     /// Number of pages currently cached.
     #[inline]
     pub fn cached_pages(&self) -> usize {
-        self.frames.len() - self.free_slots().len()
+        self.frames.len() - self.free.len()
+    }
+
+    /// Number of frame allocations held (cached + free); never exceeds
+    /// [`BufferPool::capacity`].
+    #[inline]
+    pub fn allocated_frames(&self) -> usize {
+        self.frames.len()
     }
 
     /// Accumulated I/O statistics.
@@ -62,12 +73,6 @@ impl BufferPool {
     /// Resets the statistics (cache content is kept).
     pub fn reset_stats(&mut self) {
         self.stats = IoStats::default();
-    }
-
-    fn free_slots(&self) -> Vec<usize> {
-        (0..self.frames.len())
-            .filter(|&s| !self.lru.contains(s))
-            .collect()
     }
 
     fn ensure_page_table(&mut self, id: PageId) {
@@ -82,9 +87,12 @@ impl BufferPool {
         (slot != NO_FRAME).then_some(slot as usize)
     }
 
-    /// Picks a frame for a new page: reuse a free slot, grow below capacity,
+    /// Picks a frame for a new page: pop the free list, grow below capacity,
     /// else evict the LRU victim (writing it back if dirty).
     fn acquire_slot(&mut self, disk: &mut DiskManager) -> usize {
+        if let Some(slot) = self.free.pop() {
+            return slot as usize;
+        }
         if self.frames.len() < self.capacity {
             let slot = self.frames.len();
             self.frames.push(Frame {
@@ -174,31 +182,54 @@ impl BufferPool {
         }
     }
 
-    /// Flushes and drops all cached frames (cold restart between experiment
-    /// runs, so each algorithm starts with an empty buffer as in the paper).
+    /// Flushes and detaches all cached frames (cold restart between
+    /// experiment runs, so each algorithm starts with an empty buffer as in
+    /// the paper). Frame allocations are kept on the free list for reuse.
+    ///
+    /// The whole page table is wiped, so no entry can stay stale — not even
+    /// for a frame that was detached from the LRU at the time (e.g. by a
+    /// panic unwound mid-acquisition).
     pub fn clear(&mut self, disk: &mut DiskManager) {
         self.flush_all(disk);
-        for slot in 0..self.frames.len() {
-            if self.lru.contains(slot) {
-                let page = self.frames[slot].page;
-                self.page_table[page.index()] = NO_FRAME;
-                self.lru.remove(slot);
-            }
+        self.page_table.fill(NO_FRAME);
+        self.lru = LruList::new(self.frames.len().max(self.capacity));
+        self.free.clear();
+        for (slot, frame) in self.frames.iter_mut().enumerate() {
+            frame.page = PageId(u32::MAX);
+            frame.dirty = false;
+            self.free.push(slot as u32);
         }
-        self.frames.clear();
-        self.lru = LruList::new(self.capacity);
     }
 
-    /// Changes the capacity; if shrinking, evicts LRU victims immediately.
+    /// Changes the capacity; if shrinking, evicts LRU victims immediately
+    /// and compacts the surviving frames into the low slots so no frame
+    /// allocation outlives the new capacity.
     pub fn set_capacity(&mut self, disk: &mut DiskManager, capacity: usize) {
         let capacity = capacity.max(1);
-        self.capacity = capacity;
         while self.lru.len() > capacity {
             let victim = self.lru.pop_lru().expect("len > 0");
             self.evict_slot(victim, disk);
         }
-        // Frames beyond capacity stay allocated but unused; simpler than
-        // compacting slots, and set_capacity is not on any hot path.
+        if self.frames.len() > capacity {
+            // Compact: keep the attached frames (≤ capacity of them), in
+            // recency order, and drop every other allocation.
+            let order_mru_first: Vec<usize> = self.lru.iter_mru_to_lru().collect();
+            let mut old: Vec<Option<Frame>> = std::mem::take(&mut self.frames)
+                .into_iter()
+                .map(Some)
+                .collect();
+            self.lru = LruList::new(capacity);
+            self.free.clear();
+            // Re-touch LRU→MRU so the head ends up at the true MRU.
+            for &slot in order_mru_first.iter().rev() {
+                let frame = old[slot].take().expect("attached slot exists");
+                let new_slot = self.frames.len();
+                self.page_table[frame.page.index()] = new_slot as u32;
+                self.frames.push(frame);
+                self.lru.touch(new_slot);
+            }
+        }
+        self.capacity = capacity;
         self.lru.grow_to(self.frames.len().max(capacity));
     }
 }
@@ -309,6 +340,73 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.faults, 15);
         assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn clear_reuses_frame_allocations_via_free_list() {
+        let (mut disk, mut pool, ids) = setup(4, 4, 8);
+        for &id in &ids {
+            pool.with_page(&mut disk, id, |_| ());
+        }
+        assert_eq!(pool.cached_pages(), 4);
+        assert_eq!(pool.allocated_frames(), 4);
+        pool.clear(&mut disk);
+        // Frames are detached but their allocations are retained.
+        assert_eq!(pool.cached_pages(), 0);
+        assert_eq!(pool.allocated_frames(), 4);
+        // Re-reading pops the free list (no re-allocation, correct data).
+        pool.reset_stats();
+        pool.with_page(&mut disk, ids[2], |d| assert_eq!(d[0], 2));
+        assert_eq!(pool.allocated_frames(), 4);
+        assert_eq!(pool.cached_pages(), 1);
+        assert_eq!(pool.stats().faults, 1, "cache is cold after clear");
+    }
+
+    #[test]
+    fn shrinking_capacity_compacts_without_leaking_frames() {
+        let (mut disk, mut pool, ids) = setup(8, 8, 8);
+        for &id in &ids {
+            pool.with_page(&mut disk, id, |_| ());
+        }
+        assert_eq!(pool.allocated_frames(), 8);
+        pool.set_capacity(&mut disk, 3);
+        assert_eq!(pool.capacity(), 3);
+        assert!(
+            pool.allocated_frames() <= 3,
+            "shrink must drop spare frames"
+        );
+        assert_eq!(pool.cached_pages(), 3);
+        // Recency is preserved across compaction: survivors are the three
+        // most recently used pages, in order.
+        pool.reset_stats();
+        for &id in &ids[5..] {
+            pool.with_page(&mut disk, id, |_| ());
+        }
+        assert_eq!(pool.stats().hits, 3);
+        // Touch a cold page: the victim must be the oldest survivor (ids[5]).
+        pool.with_page(&mut disk, ids[0], |_| ());
+        pool.with_page(&mut disk, ids[7], |_| ());
+        pool.with_page(&mut disk, ids[6], |_| ());
+        assert_eq!(pool.stats().hits, 5);
+        assert_eq!(pool.stats().faults, 1);
+    }
+
+    #[test]
+    fn clear_after_shrink_has_no_stale_page_table_entries() {
+        let (mut disk, mut pool, ids) = setup(4, 6, 8);
+        for &id in &ids {
+            pool.with_page(&mut disk, id, |_| ());
+        }
+        pool.set_capacity(&mut disk, 2);
+        pool.clear(&mut disk);
+        pool.reset_stats();
+        // Every page must fault again; a stale table entry would fake a hit
+        // (or worse, serve another page's bytes).
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page(&mut disk, id, |d| assert_eq!(d[0], i as u8));
+        }
+        assert_eq!(pool.stats().faults as usize, ids.len());
+        assert_eq!(pool.stats().hits, 0);
     }
 
     #[test]

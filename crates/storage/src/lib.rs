@@ -11,9 +11,11 @@
 //! * [`buffer::BufferPool`] — a buffer pool with LRU replacement and
 //!   write-back of dirty pages,
 //! * [`stats::IoStats`] — fault counters plus the paper's charged I/O time,
-//! * [`store::PageStore`] — the facade combining disk and buffer pool behind
-//!   a thread-safe interior-mutability interface used by the R-tree (and
-//!   shared across the batch runner's worker threads).
+//! * [`stats::IoSession`] — a per-query attribution handle charged alongside
+//!   the global counters, so concurrent queries each see their own traffic,
+//! * [`store::PageStore`] — the facade striping pages over N independent
+//!   shards (own frames, LRU and lock each; counters are per-shard atomics
+//!   aggregated on read), shared across the batch runner's worker threads.
 //!
 //! The disk is in-memory (documented substitution in DESIGN.md §5): the
 //! paper itself *charges* I/O time per fault rather than measuring a device,
@@ -22,13 +24,14 @@
 pub mod buffer;
 pub mod disk;
 pub mod lru;
+mod shard;
 pub mod stats;
 pub mod store;
 
 pub use buffer::BufferPool;
 pub use disk::{DiskManager, PageId};
-pub use stats::IoStats;
-pub use store::PageStore;
+pub use stats::{IoSession, IoStats};
+pub use store::{default_shards, PageStore};
 
 /// Default page size used in the paper's evaluation ("indexed by an R-tree
 /// with 1Kbyte page size", §5.1).

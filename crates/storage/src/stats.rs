@@ -1,4 +1,8 @@
-//! I/O statistics and the paper's charged I/O time model.
+//! I/O statistics, the paper's charged I/O time model, and the
+//! [`IoSession`] attribution handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::IO_COST_PER_FAULT_MS;
 
@@ -54,6 +58,71 @@ impl IoStats {
             faults: self.faults - earlier.faults,
             writes: self.writes - earlier.writes,
         }
+    }
+}
+
+/// A per-query I/O attribution handle.
+///
+/// A session is a cheap, cloneable bundle of atomic counters. The
+/// [`crate::PageStore`] charges every page access to the shard counters
+/// *and* — when the access carries a session — to that session, so
+/// concurrent queries over one shared buffer pool each see exactly the
+/// traffic they caused. For disjoint sessions the per-session fault counts
+/// sum to the store's global fault count (the invariant the batch runner's
+/// tests enforce).
+///
+/// Cloning shares the counters (it is an `Arc` underneath): a query may
+/// hand clones to several cursors and read one combined total.
+#[derive(Clone, Debug, Default)]
+pub struct IoSession {
+    inner: Arc<SessionCounters>,
+}
+
+#[derive(Debug, Default)]
+struct SessionCounters {
+    hits: AtomicU64,
+    faults: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoSession {
+    /// A fresh session with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The traffic charged to this session so far.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            faults: self.inner.faults.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Charges `delta` to the session (called by the store's shards).
+    pub fn charge(&self, delta: IoStats) {
+        if delta.hits != 0 {
+            self.inner.hits.fetch_add(delta.hits, Ordering::Relaxed);
+        }
+        if delta.faults != 0 {
+            self.inner.faults.fetch_add(delta.faults, Ordering::Relaxed);
+        }
+        if delta.writes != 0 {
+            self.inner.writes.fetch_add(delta.writes, Ordering::Relaxed);
+        }
+    }
+
+    /// Zeroes the counters (e.g. to reuse one session across phases).
+    pub fn reset(&self) {
+        self.inner.hits.store(0, Ordering::Relaxed);
+        self.inner.faults.store(0, Ordering::Relaxed);
+        self.inner.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// True when both handles charge the same counters.
+    pub fn same_session(&self, other: &IoSession) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
@@ -157,6 +226,34 @@ mod tests {
                 writes: 1
             }
         );
+    }
+
+    #[test]
+    fn session_charges_accumulate_across_clones() {
+        let s = IoSession::new();
+        let t = s.clone();
+        assert!(s.same_session(&t));
+        s.charge(IoStats {
+            hits: 2,
+            faults: 1,
+            writes: 0,
+        });
+        t.charge(IoStats {
+            hits: 0,
+            faults: 3,
+            writes: 1,
+        });
+        assert_eq!(
+            s.stats(),
+            IoStats {
+                hits: 2,
+                faults: 4,
+                writes: 1
+            }
+        );
+        s.reset();
+        assert_eq!(t.stats(), IoStats::default());
+        assert!(!s.same_session(&IoSession::new()));
     }
 
     #[test]

@@ -1,29 +1,46 @@
 //! [`PageStore`]: the facade the R-tree talks to.
 //!
-//! Combines a [`DiskManager`] and a [`BufferPool`] behind `&self` methods via
-//! interior mutability. Page accesses are serialised through a `Mutex`, so a
-//! built tree is `Sync` and can be shared by the batch runner's worker
-//! threads; single-threaded runs pay only an uncontended lock per access.
-//! I/O statistics and the LRU state are global to the store — concurrent
-//! queries share the buffer pool exactly like concurrent transactions share
-//! a DBMS buffer cache.
+//! A *sharded* buffer pool: page ids hash (stripe) to one of N shards, each
+//! owning its own frames, LRU list, disk segment and lock, so concurrent
+//! queries over a shared tree fault pages independently instead of
+//! serialising on one global mutex. Counters are per-shard atomics
+//! aggregated on read, and every access can additionally be charged to a
+//! per-query [`IoSession`], which is what restores per-query I/O
+//! attribution in parallel batches.
+//!
+//! With `shards = 1` the store behaves exactly like the previous
+//! single-`Mutex` design (one global LRU) — the equivalence proptest in
+//! `tests/shard_equivalence.rs` pins that down.
 
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-use crate::buffer::BufferPool;
-use crate::disk::{DiskManager, PageId};
-use crate::stats::IoStats;
+use crate::disk::PageId;
+use crate::shard::{Shard, ShardRouter};
+use crate::stats::{IoSession, IoStats};
 use crate::DEFAULT_PAGE_SIZE;
 
-struct Inner {
-    disk: DiskManager,
-    pool: BufferPool,
+/// Sharded paged storage with per-shard LRU buffers, usable through shared
+/// references from many threads.
+pub struct PageStore {
+    page_size: usize,
+    router: ShardRouter,
+    shards: Box<[Shard]>,
+    /// Global dense page allocator; shards materialise their stripe lazily.
+    next_page: AtomicU32,
 }
 
-/// Paged storage with a buffer pool, usable through shared references from
-/// many threads.
-pub struct PageStore {
-    inner: Mutex<Inner>,
+/// Default shard count: the next power of two at or above the number of
+/// available hardware threads, capped at 16. The cap bounds the one-page
+/// per-shard capacity floor (see [`PageStore::set_buffer_capacity`]) so
+/// that small paper-style buffers are not silently inflated on many-core
+/// hosts, and 16 independent locks already decongest the batch runner's
+/// worker counts.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .min(16)
 }
 
 impl PageStore {
@@ -33,88 +50,189 @@ impl PageStore {
         Self::with_config(DEFAULT_PAGE_SIZE, 64)
     }
 
-    /// Creates a store with explicit page size (bytes) and buffer capacity
-    /// (pages).
+    /// Creates a store with explicit page size (bytes) and total buffer
+    /// capacity (pages), sharded [`default_shards`] ways.
     pub fn with_config(page_size: usize, buffer_pages: usize) -> Self {
-        PageStore {
-            inner: Mutex::new(Inner {
-                disk: DiskManager::new(page_size),
-                pool: BufferPool::new(buffer_pages),
-            }),
-        }
+        Self::with_config_sharded(page_size, buffer_pages, default_shards())
     }
 
-    /// Locks the store; a panicked holder cannot leave the page data in a
-    /// torn state (all mutation is in-memory bookkeeping), so poisoning is
-    /// deliberately ignored.
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// Creates a store with an explicit shard count (rounded up to a power
+    /// of two; `1` reproduces the old single-mutex, single-LRU behaviour).
+    /// `buffer_pages` is the *total* capacity, split evenly across shards
+    /// (each shard holds at least one page). A shard count exceeding
+    /// `buffer_pages` is clamped down so the per-shard floor cannot
+    /// inflate the requested capacity at construction time.
+    pub fn with_config_sharded(page_size: usize, buffer_pages: usize, shards: usize) -> Self {
+        let max_shards = prev_power_of_two(buffer_pages.max(1));
+        let shards = shards.max(1).next_power_of_two().min(max_shards);
+        let router = ShardRouter::new(shards);
+        let shards: Box<[Shard]> = split_capacity(buffer_pages, router.shards())
+            .into_iter()
+            .map(|cap| Shard::new(page_size, cap))
+            .collect();
+        PageStore {
+            page_size,
+            router,
+            shards,
+            next_page: AtomicU32::new(0),
+        }
     }
 
     /// Page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.lock().disk.page_size()
+        self.page_size
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.router.shards()
     }
 
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
-        self.lock().disk.num_pages()
+        self.next_page.load(Ordering::Acquire) as usize
     }
 
     /// Allocates a fresh zeroed page.
     pub fn alloc_page(&self) -> PageId {
-        self.lock().disk.alloc_page()
+        let id = self.next_page.fetch_add(1, Ordering::AcqRel);
+        assert!(id != u32::MAX, "page id overflow");
+        PageId(id)
     }
 
-    /// Reads a page through the buffer pool; `f` receives the page bytes.
+    /// Panics on ids that were never handed out by [`PageStore::alloc_page`]
+    /// — accessing them is a storage-layer bug, exactly as on the old
+    /// unsharded disk.
+    fn check_allocated(&self, id: PageId) {
+        assert!(id.index() < self.num_pages(), "access to unallocated {id}");
+    }
+
+    /// Reads a page through its shard's buffer pool; `f` receives the page
+    /// bytes. Traffic is charged to the shard counters only.
     ///
-    /// The closure runs under the store lock and must not re-enter the
-    /// store (it would deadlock; the single-threaded storage discipline of
-    /// the old `RefCell` design, enforced differently).
+    /// The closure runs under the shard lock and must not re-enter the
+    /// store (same-shard re-entry deadlocks; cross-shard re-entry risks
+    /// lock-order inversion against concurrent callers).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
-        let inner = &mut *self.lock();
-        inner.pool.with_page(&mut inner.disk, id, f)
+        self.with_page_session(id, None, f)
     }
 
-    /// Writes a full page through the buffer pool (write-back).
+    /// Like [`PageStore::with_page`], additionally charging the access to
+    /// `session` — the per-query attribution path.
+    pub fn with_page_session<R>(
+        &self,
+        id: PageId,
+        session: Option<&IoSession>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        self.check_allocated(id);
+        let local = self.router.local_id(id);
+        self.shards[self.router.shard_of(id)].with_inner(session, |inner| {
+            inner.ensure_local_page(local);
+            inner.pool.with_page(&mut inner.disk, local, f)
+        })
+    }
+
+    /// Writes a full page through its shard's buffer pool (write-back).
     pub fn write_page(&self, id: PageId, data: &[u8]) {
-        let inner = &mut *self.lock();
-        inner.pool.write_page(&mut inner.disk, id, data);
+        self.write_page_session(id, None, data)
     }
 
-    /// Flushes dirty pages to the simulated disk.
+    /// Like [`PageStore::write_page`], charging eviction write-backs to
+    /// `session`.
+    pub fn write_page_session(&self, id: PageId, session: Option<&IoSession>, data: &[u8]) {
+        self.check_allocated(id);
+        let local = self.router.local_id(id);
+        self.shards[self.router.shard_of(id)].with_inner(session, |inner| {
+            inner.ensure_local_page(local);
+            inner.pool.write_page(&mut inner.disk, local, data);
+        });
+    }
+
+    /// Flushes dirty pages of every shard to the simulated disk.
     pub fn flush(&self) {
-        let inner = &mut *self.lock();
-        inner.pool.flush_all(&mut inner.disk);
+        for shard in self.shards.iter() {
+            shard.with_inner(None, |inner| inner.pool.flush_all(&mut inner.disk));
+        }
     }
 
-    /// Buffer-pool statistics accumulated so far.
+    /// Buffer-pool statistics accumulated so far, aggregated across shards
+    /// without taking any shard lock.
     pub fn io_stats(&self) -> IoStats {
-        self.lock().pool.stats()
+        self.shards
+            .iter()
+            .fold(IoStats::default(), |acc, s| acc + s.stats())
     }
 
     /// Clears I/O statistics (e.g. after bulk load, before measuring
     /// queries).
     pub fn reset_stats(&self) {
-        self.lock().pool.reset_stats();
+        for shard in self.shards.iter() {
+            shard.reset_stats();
+        }
     }
 
-    /// Re-sizes the buffer pool; used to apply the paper's "1 % of the tree
-    /// size" rule once the tree has been built.
+    /// Re-sizes the total buffer capacity; used to apply the paper's "1 %
+    /// of the tree size" rule once the tree has been built. Each shard gets
+    /// an even split, floored at one page, so the effective total is
+    /// `max(pages, num_shards())` — on a store with many shards a very
+    /// small request is inflated by the floor ([`PageStore::buffer_capacity`]
+    /// always reports the real total; build with `shards = 1` for strictly
+    /// paper-faithful buffer sizing).
     pub fn set_buffer_capacity(&self, pages: usize) {
-        let inner = &mut *self.lock();
-        inner.pool.set_capacity(&mut inner.disk, pages);
+        for (shard, cap) in self
+            .shards
+            .iter()
+            .zip(split_capacity(pages, self.num_shards()))
+        {
+            shard.with_inner(None, move |inner| {
+                inner.pool.set_capacity(&mut inner.disk, cap)
+            });
+        }
     }
 
-    /// Current buffer capacity in pages.
+    /// Current total buffer capacity in pages (sum over shards).
     pub fn buffer_capacity(&self) -> usize {
-        self.lock().pool.capacity()
+        self.shards
+            .iter()
+            .map(|s| s.with_inner(None, |inner| inner.pool.capacity()))
+            .sum()
     }
 
-    /// Flushes and empties the cache so a subsequent run starts cold.
+    /// Pages currently cached across all shards.
+    pub fn cached_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.with_inner(None, |inner| inner.pool.cached_pages()))
+            .sum()
+    }
+
+    /// Flushes and empties every shard's cache so a subsequent run starts
+    /// cold.
     pub fn clear_cache(&self) {
-        let inner = &mut *self.lock();
-        inner.pool.clear(&mut inner.disk);
+        for shard in self.shards.iter() {
+            shard.with_inner(None, |inner| inner.pool.clear(&mut inner.disk));
+        }
+    }
+}
+
+/// Splits `total` buffer pages over `shards` shards: an even split with the
+/// remainder spread over the first shards, and at least one page each.
+fn split_capacity(total: usize, shards: usize) -> Vec<usize> {
+    let base = total / shards;
+    let rem = total % shards;
+    (0..shards)
+        .map(|i| (base + usize::from(i < rem)).max(1))
+        .collect()
+}
+
+/// The largest power of two at or below `n` (`n >= 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    let next = n.next_power_of_two();
+    if next == n {
+        n
+    } else {
+        next / 2
     }
 }
 
@@ -130,19 +248,22 @@ mod tests {
 
     #[test]
     fn roundtrip_through_facade() {
-        let store = PageStore::with_config(32, 2);
-        let a = store.alloc_page();
-        let b = store.alloc_page();
-        store.write_page(a, &[1u8; 32]);
-        store.write_page(b, &[2u8; 32]);
-        store.with_page(a, |d| assert_eq!(d, &[1u8; 32]));
-        store.with_page(b, |d| assert_eq!(d, &[2u8; 32]));
-        assert_eq!(store.num_pages(), 2);
+        for shards in [1, 4] {
+            let store = PageStore::with_config_sharded(32, 4, shards);
+            let a = store.alloc_page();
+            let b = store.alloc_page();
+            store.write_page(a, &[1u8; 32]);
+            store.write_page(b, &[2u8; 32]);
+            store.with_page(a, |d| assert_eq!(d, &[1u8; 32]));
+            store.with_page(b, |d| assert_eq!(d, &[2u8; 32]));
+            assert_eq!(store.num_pages(), 2);
+        }
     }
 
     #[test]
     fn stats_visible_and_resettable() {
-        let store = PageStore::with_config(32, 1);
+        // shards = 1 reproduces the old global-LRU eviction sequence.
+        let store = PageStore::with_config_sharded(32, 1, 1);
         let a = store.alloc_page();
         let b = store.alloc_page();
         store.write_page(a, &[1u8; 32]);
@@ -160,7 +281,7 @@ mod tests {
 
     #[test]
     fn one_percent_rule_applied_by_caller() {
-        let store = PageStore::with_config(32, 1000);
+        let store = PageStore::with_config_sharded(32, 1000, 1);
         for _ in 0..500 {
             store.alloc_page();
         }
@@ -171,39 +292,104 @@ mod tests {
     }
 
     #[test]
-    fn cold_start_after_clear_cache() {
-        let store = PageStore::with_config(32, 8);
-        let a = store.alloc_page();
-        store.write_page(a, &[5u8; 32]);
-        store.flush();
-        store.with_page(a, |_| ());
-        store.clear_cache();
-        store.reset_stats();
-        store.with_page(a, |d| assert_eq!(d, &[5u8; 32]));
-        assert_eq!(store.io_stats().faults, 1);
+    fn capacity_splits_across_shards_with_floor() {
+        let store = PageStore::with_config_sharded(32, 10, 4);
+        assert_eq!(store.num_shards(), 4);
+        // 10 over 4 shards: 3+3+2+2.
+        assert_eq!(store.buffer_capacity(), 10);
+        store.set_buffer_capacity(2);
+        // Floor of one page per shard.
+        assert_eq!(store.buffer_capacity(), 4);
     }
 
     #[test]
-    fn store_is_shareable_across_threads() {
-        let store = PageStore::with_config(32, 4);
+    fn cold_start_after_clear_cache() {
+        for shards in [1, 8] {
+            let store = PageStore::with_config_sharded(32, 8, shards);
+            let a = store.alloc_page();
+            store.write_page(a, &[5u8; 32]);
+            store.flush();
+            store.with_page(a, |_| ());
+            store.clear_cache();
+            store.reset_stats();
+            store.with_page(a, |d| assert_eq!(d, &[5u8; 32]));
+            assert_eq!(store.io_stats().faults, 1);
+            assert_eq!(store.cached_pages(), 1);
+        }
+    }
+
+    #[test]
+    fn sessions_attribute_traffic_per_caller() {
+        let store = PageStore::with_config_sharded(32, 8, 4);
         let pages: Vec<_> = (0..8).map(|_| store.alloc_page()).collect();
         for (i, &p) in pages.iter().enumerate() {
             store.write_page(p, &[i as u8; 32]);
         }
         store.flush();
-        std::thread::scope(|scope| {
-            for t in 0..4 {
-                let store = &store;
-                let pages = &pages;
-                scope.spawn(move || {
-                    for round in 0..50 {
-                        let idx = (t + round) % pages.len();
-                        store.with_page(pages[idx], |d| assert_eq!(d[0] as usize, idx));
-                    }
-                });
+        store.clear_cache();
+        store.reset_stats();
+        let a = IoSession::new();
+        let b = IoSession::new();
+        store.with_page_session(pages[0], Some(&a), |_| ());
+        store.with_page_session(pages[0], Some(&a), |_| ());
+        store.with_page_session(pages[1], Some(&b), |_| ());
+        assert_eq!(a.stats().faults, 1);
+        assert_eq!(a.stats().hits, 1);
+        assert_eq!(b.stats().faults, 1);
+        let global = store.io_stats();
+        assert_eq!(global, a.stats() + b.stats());
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        for shards in [1, 4] {
+            let store = PageStore::with_config_sharded(32, 4, shards);
+            let pages: Vec<_> = (0..8).map(|_| store.alloc_page()).collect();
+            for (i, &p) in pages.iter().enumerate() {
+                store.write_page(p, &[i as u8; 32]);
             }
-        });
-        let s = store.io_stats();
-        assert_eq!(s.hits + s.faults, 200);
+            store.flush();
+            store.clear_cache();
+            store.reset_stats();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let store = &store;
+                    let pages = &pages;
+                    scope.spawn(move || {
+                        for round in 0..50 {
+                            let idx = (t + round) % pages.len();
+                            store.with_page(pages[idx], |d| assert_eq!(d[0] as usize, idx));
+                        }
+                    });
+                }
+            });
+            let s = store.io_stats();
+            assert_eq!(s.hits + s.faults, 200);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn unallocated_page_access_panics() {
+        let store = PageStore::with_config_sharded(32, 4, 4);
+        store.alloc_page();
+        store.with_page(PageId(3), |_| ());
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        let store = PageStore::with_config_sharded(32, 16, 5);
+        assert_eq!(store.num_shards(), 8);
+        assert!(default_shards().is_power_of_two());
+        assert!(default_shards() <= 16);
+    }
+
+    #[test]
+    fn shard_count_clamped_by_requested_capacity() {
+        // 3 buffer pages cannot honour 8 one-page-minimum shards; the shard
+        // count is clamped so the requested total stays exact.
+        let store = PageStore::with_config_sharded(32, 3, 8);
+        assert_eq!(store.num_shards(), 2);
+        assert_eq!(store.buffer_capacity(), 3);
     }
 }

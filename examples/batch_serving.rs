@@ -21,11 +21,16 @@ fn main() {
         seed: 42,
     };
     let w = cfg.generate();
-    let instance = SpatialAssignment::build(w.providers, w.customers);
+    // A serving instance opts into the sharded buffer pool (8 ways here) so
+    // concurrent workers fault pages independently; paper experiments use
+    // the default single-shard build for machine-independent I/O numbers.
+    let instance =
+        SpatialAssignment::build_with_storage_sharded(w.providers, w.customers, 1024, 1.0, 8);
     println!(
-        "instance: |Q| = {}, |P| = {}, gamma = {}",
+        "instance: |Q| = {}, |P| = {}, shards = {}, gamma = {}",
         instance.providers().len(),
         instance.customers().len(),
+        instance.tree().store().num_shards(),
         instance.gamma()
     );
 
@@ -73,19 +78,30 @@ fn main() {
     );
 
     println!(
-        "\n{:<6} {:<6} {:>12} {:>10} {:>10}",
-        "query", "algo", "cost", "|Esub|", "cpu"
+        "\n{:<6} {:<6} {:>12} {:>10} {:>10} {:>8} {:>9}",
+        "query", "algo", "cost", "|Esub|", "cpu", "faults", "io(s)"
     );
     for r in &parallel.results {
         println!(
-            "{:<6} {:<6} {:>12.1} {:>10} {:>10.2?}",
+            "{:<6} {:<6} {:>12.1} {:>10} {:>10.2?} {:>8} {:>9.2}",
             r.index,
             r.label,
             r.matching.cost(),
             r.stats.esub_edges,
-            r.stats.cpu_time
+            r.stats.cpu_time,
+            r.stats.io.faults,
+            r.stats.io_time_s()
         );
     }
+
+    // Per-query I/O is attributed through IoSessions, so disjoint queries
+    // partition the batch's buffer-pool traffic exactly.
+    let fault_sum: u64 = parallel.results.iter().map(|r| r.stats.io.faults).sum();
+    assert_eq!(fault_sum, parallel.io.faults);
+    println!(
+        "\nper-query faults sum to the batch aggregate: {} = {}",
+        fault_sum, parallel.io.faults
+    );
 
     // Parallel execution must not change any result.
     for (s, p) in sequential.results.iter().zip(&parallel.results) {

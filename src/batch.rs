@@ -11,10 +11,10 @@
 //! Matchings are bit-identical between parallel and sequential execution —
 //! the algorithms never read buffer-pool state, only charge it — which
 //! [`BatchRunner::run_sequential`] exists to demonstrate (and tests
-//! enforce). Per-query [`AlgoStats`] carry the algorithm's own counters and
-//! CPU time; buffer-pool traffic cannot be attributed per query under
-//! concurrency, so `stats.io` stays zeroed and the batch-aggregate delta is
-//! reported on [`BatchReport::io`] instead.
+//! enforce). Every query runs under its own [`IoSession`], so per-query
+//! [`AlgoStats::io`] reports exactly the pages that query touched even
+//! while workers share the sharded buffer pool; the per-query fault counts
+//! sum to the batch-aggregate delta on [`BatchReport::io`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use cca_core::solver::{Solver, SolverConfig, SolverRegistry, UnknownSolver};
 use cca_core::{AlgoStats, Matching};
-use cca_storage::IoStats;
+use cca_storage::{IoSession, IoStats};
 
 use crate::SpatialAssignment;
 
@@ -133,11 +133,12 @@ impl<'a> BatchRunner<'a> {
     }
 
     fn run_one(&self, index: usize, config: &SolverConfig, solver: &dyn Solver) -> QueryResult {
-        let (matching, mut stats) = solver.run(&self.instance.problem());
-        // Buffer-pool traffic is shared across concurrent queries and
-        // cannot be attributed to one of them; the batch-level delta is
-        // reported on the report instead.
-        stats.io = IoStats::default();
+        // A fresh session per query: the store charges it alongside its
+        // shard counters, so `stats.io` is this query's own traffic even
+        // with other workers hammering the same pool.
+        let session = IoSession::new();
+        let problem = self.instance.problem().with_session(&session);
+        let (matching, stats) = solver.run(&problem);
         QueryResult {
             index,
             label: solver.label(),
@@ -158,7 +159,8 @@ pub struct QueryResult {
     /// The config the query was built from.
     pub config: SolverConfig,
     pub matching: Matching,
-    /// Algorithm counters and CPU time; `io` is zeroed (see module docs).
+    /// Algorithm counters, CPU time, and this query's own buffer-pool
+    /// traffic (attributed through its [`IoSession`]).
     pub stats: AlgoStats,
 }
 

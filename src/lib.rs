@@ -53,7 +53,7 @@ pub use cca_core::solver::{Problem, Solver, SolverConfig, SolverRegistry, Unknow
 use cca_core::{AlgoStats, Matching, RefineMethod};
 use cca_geo::Point;
 use cca_rtree::RTree;
-use cca_storage::PageStore;
+use cca_storage::{IoSession, PageStore};
 
 /// Legacy algorithm selector, kept as a back-compat wrapper over
 /// [`SolverConfig`] — see [`Algorithm::to_config`]. New code should build
@@ -144,11 +144,32 @@ impl SpatialAssignment {
     }
 
     /// Builds with explicit page size (bytes) and buffer percentage.
+    ///
+    /// Uses a single-shard store — the paper's one global LRU — so fault
+    /// counts and charged I/O are identical on every machine (a sharded
+    /// store floors each shard at one buffer page, which would let the
+    /// host's core count perturb small paper-style buffers). Serving
+    /// deployments that want concurrent faulting opt in via
+    /// [`SpatialAssignment::build_with_storage_sharded`] with
+    /// [`cca_storage::default_shards`].
     pub fn build_with_storage(
         providers: Vec<(Point, u32)>,
         customers: Vec<Point>,
         page_size: usize,
         buffer_percent: f64,
+    ) -> Self {
+        Self::build_with_storage_sharded(providers, customers, page_size, buffer_percent, 1)
+    }
+
+    /// Builds with an explicit buffer-pool shard count (`1` reproduces the
+    /// single-mutex, single-LRU storage of the paper's sequential setting;
+    /// more shards let parallel batches fault pages independently).
+    pub fn build_with_storage_sharded(
+        providers: Vec<(Point, u32)>,
+        customers: Vec<Point>,
+        page_size: usize,
+        buffer_percent: f64,
+        shards: usize,
     ) -> Self {
         let items: Vec<(Point, u64)> = customers
             .iter()
@@ -157,7 +178,7 @@ impl SpatialAssignment {
             .collect();
         // Generous provisional buffer during construction; finish_build
         // shrinks it to the experiment setting.
-        let store = PageStore::with_config(page_size, 1 << 14);
+        let store = PageStore::with_config_sharded(page_size, 1 << 14, shards);
         let tree = RTree::bulk_load(store, &items);
         tree.finish_build(buffer_percent);
         SpatialAssignment {
@@ -205,11 +226,16 @@ impl SpatialAssignment {
 
     /// Runs `solver` from a cold buffer cache and returns the matching with
     /// CPU and charged-I/O statistics.
+    ///
+    /// The run is given its own [`IoSession`], so `stats.io` is the
+    /// traffic *this query* caused — the same attribution path the parallel
+    /// [`BatchRunner`] uses (for a lone query on a cold cache it equals the
+    /// store's global delta).
     pub fn run_solver(&self, solver: &dyn Solver) -> RunResult<'_> {
         self.tree.store().clear_cache();
         self.tree.store().reset_stats();
-        let (matching, mut stats) = solver.run(&self.problem());
-        stats.io = self.tree.io_stats();
+        let session = IoSession::new();
+        let (matching, stats) = solver.run(&self.problem().with_session(&session));
         RunResult {
             matching,
             stats,

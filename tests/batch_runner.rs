@@ -68,6 +68,35 @@ fn parallel_batch_matches_sequential_exactly() {
     assert!((parallel.total_cost() - sequential.total_cost()).abs() < 1e-9);
 }
 
+/// The same guarantees hold over a multi-shard pool: determinism against
+/// sequential execution and exact per-query attribution, with workers
+/// faulting through independent shard locks.
+#[test]
+fn sharded_pool_keeps_determinism_and_attribution() {
+    let w = cca::datagen::WorkloadConfig {
+        num_providers: 12,
+        num_customers: 2000,
+        capacity: CapacitySpec::Fixed(20),
+        q_dist: SpatialDistribution::Clustered,
+        p_dist: SpatialDistribution::Clustered,
+        seed: 406,
+    }
+    .generate();
+    let instance =
+        SpatialAssignment::build_with_storage_sharded(w.providers, w.customers, 1024, 1.0, 4);
+    assert_eq!(instance.tree().store().num_shards(), 4);
+    let queries = mixed_queries();
+    let runner = instance.batch().threads(8);
+    let parallel = runner.run(&queries).unwrap();
+    let sequential = runner.run_sequential(&queries).unwrap();
+    for (p, s) in parallel.results.iter().zip(&sequential.results) {
+        assert_eq!(p.matching.pairs, s.matching.pairs, "query {}", p.index);
+    }
+    let fault_sum: u64 = parallel.results.iter().map(|r| r.stats.io.faults).sum();
+    assert_eq!(fault_sum, parallel.io.faults);
+    assert!(parallel.results.iter().all(|r| r.stats.io.faults > 0));
+}
+
 /// Running the same batch twice is bit-reproducible (queries share a cache
 /// but never mutate results through it).
 #[test]
@@ -99,12 +128,26 @@ fn per_query_stats_and_batch_io_are_reported() {
             "query {} has algorithm counters",
             r.index
         );
-        assert_eq!(
-            r.stats.io.faults, 0,
-            "per-query I/O is unattributable and must stay zeroed"
+        assert!(
+            r.stats.io.faults > 0,
+            "query {} ({}) must report its own attributed I/O",
+            r.index,
+            r.label
         );
     }
     assert!(report.io.faults > 0, "the batch as a whole faulted pages");
+    // The attribution invariant: disjoint per-query sessions partition the
+    // batch's buffer-pool traffic exactly.
+    let fault_sum: u64 = report.results.iter().map(|r| r.stats.io.faults).sum();
+    let hit_sum: u64 = report.results.iter().map(|r| r.stats.io.hits).sum();
+    assert_eq!(
+        fault_sum, report.io.faults,
+        "per-query faults must sum to the batch aggregate"
+    );
+    assert_eq!(
+        hit_sum, report.io.hits,
+        "per-query hits must sum to the batch aggregate"
+    );
     assert!(report.wall.as_nanos() > 0);
     let agg = report.aggregate_stats();
     assert_eq!(agg.io, report.io);
