@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use cca::datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
 use cca::geo::Point;
-use cca::storage::IoSession;
+use cca::storage::QueryContext;
 use cca::{SolverConfig, SpatialAssignment};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,8 +42,8 @@ fn build(shards: usize) -> SpatialAssignment {
     SpatialAssignment::build_with_storage_sharded(w.providers, w.customers, 1024, 16.0, shards)
 }
 
-/// One concurrent-kNN round: `threads` workers, each with its own session,
-/// issuing independent searches against the shared tree. Returns q/s.
+/// One concurrent-kNN round: `threads` workers, each with its own query
+/// context, issuing independent searches against the shared tree. Returns q/s.
 fn knn_round(instance: &SpatialAssignment, threads: usize) -> f64 {
     let tree = instance.tree();
     tree.store().clear_cache();
@@ -52,15 +52,15 @@ fn knn_round(instance: &SpatialAssignment, threads: usize) -> f64 {
     std::thread::scope(|scope| {
         for t in 0..threads {
             scope.spawn(move || {
-                let session = IoSession::new();
+                let ctx = QueryContext::new();
                 let mut rng = StdRng::seed_from_u64(100 + t as u64);
                 for _ in 0..KNN_QUERIES_PER_THREAD {
                     let q =
                         Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0));
-                    let hits = tree.knn_session(q, KNN_K, Some(&session));
+                    let hits = tree.knn_ctx(q, KNN_K, Some(&ctx)).unwrap();
                     assert_eq!(hits.len(), KNN_K);
                 }
-                assert!(session.stats().logical_reads() > 0);
+                assert!(ctx.stats().logical_reads() > 0);
             });
         }
     });

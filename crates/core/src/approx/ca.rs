@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use cca_geo::{Point, Rect};
 use cca_rtree::{CustomerGroup, RTree};
-use cca_storage::IoSession;
+use cca_storage::QueryContext;
 
 use crate::approx::grouping::greedy_hilbert_groups;
 use crate::approx::refine::{refine, RefineMethod, RefineProvider};
@@ -46,20 +46,35 @@ struct MergedGroup {
 
 /// Runs CA over providers and the R-tree-indexed customers.
 pub fn ca(providers: &[(Point, u32)], tree: &RTree, cfg: &CaConfig) -> (Matching, AlgoStats) {
-    ca_session(providers, tree, cfg, None)
+    ca_ctx(providers, tree, cfg, None)
 }
 
-/// [`ca`] with the partition descent's R-tree I/O charged to `session`.
-pub fn ca_session(
+/// [`ca`] under a query context: the partition descent's R-tree I/O is
+/// charged to `ctx`. If the descent aborts (cancellation / deadline / I/O
+/// budget) CA returns an empty partial matching immediately — the
+/// representatives cannot be formed from a truncated partition — and the
+/// caller reads the abort state off the context.
+pub fn ca_ctx(
     providers: &[(Point, u32)],
     tree: &RTree,
     cfg: &CaConfig,
-    session: Option<&IoSession>,
+    ctx: Option<&QueryContext>,
 ) -> (Matching, AlgoStats) {
     let start = Instant::now();
 
     // Phase 1a: diagonal-bounded partition descent (§4.2).
-    let base: Vec<CustomerGroup> = tree.partition_by_diagonal_session(cfg.delta, session);
+    let base: Vec<CustomerGroup> = match tree.partition_by_diagonal_ctx(cfg.delta, ctx) {
+        Ok(groups) => groups,
+        Err(_) => {
+            return (
+                Matching::default(),
+                AlgoStats {
+                    cpu_time: start.elapsed(),
+                    ..Default::default()
+                },
+            )
+        }
+    };
 
     // Phase 1b: merge entries into hyper-entries still satisfying δ.
     let merge = greedy_hilbert_groups(&base, |g| g.mbr.center(), |g| g.mbr, cfg.delta);

@@ -8,10 +8,10 @@ pub mod refine;
 pub mod sa;
 
 pub use bounds::{ca_error_bound, sa_error_bound};
-pub use ca::{ca, ca_session, CaConfig};
+pub use ca::{ca, ca_ctx, CaConfig};
 pub use grouping::{greedy_hilbert_groups, partition_providers, ProviderGroup};
 pub use refine::{RefineMethod, RefineProvider};
-pub use sa::{sa, sa_session, SaConfig};
+pub use sa::{sa, sa_ctx, SaConfig};
 
 #[cfg(test)]
 mod tests {

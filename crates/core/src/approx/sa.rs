@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use cca_geo::Point;
 use cca_rtree::RTree;
-use cca_storage::IoSession;
+use cca_storage::QueryContext;
 
 use crate::approx::grouping::partition_providers;
 use crate::approx::refine::{refine, RefineMethod, RefineProvider};
@@ -39,15 +39,18 @@ impl Default for SaConfig {
 
 /// Runs SA over providers and the R-tree-indexed customers.
 pub fn sa(providers: &[(Point, u32)], tree: &RTree, cfg: &SaConfig) -> (Matching, AlgoStats) {
-    sa_session(providers, tree, cfg, None)
+    sa_ctx(providers, tree, cfg, None)
 }
 
-/// [`sa`] with the concise-matching phase's R-tree I/O charged to `session`.
-pub fn sa_session(
+/// [`sa`] under a query context: the concise-matching phase's R-tree I/O is
+/// charged to `ctx`, and an abort (cancellation / deadline / I/O budget)
+/// makes the phase return early with a partial matching — the caller reads
+/// the abort state off the context.
+pub fn sa_ctx(
     providers: &[(Point, u32)],
     tree: &RTree,
     cfg: &SaConfig,
-    session: Option<&IoSession>,
+    ctx: Option<&QueryContext>,
 ) -> (Matching, AlgoStats) {
     let start = Instant::now();
 
@@ -57,7 +60,7 @@ pub fn sa_session(
 
     // Phase 2: concise matching — exact CCA between Q' and P via IDA.
     let rep_positions: Vec<Point> = reps.iter().map(|&(p, _)| p).collect();
-    let mut source = RtreeSource::new_session(tree, rep_positions, session);
+    let mut source = RtreeSource::new_ctx(tree, rep_positions, ctx);
     let (concise, concise_stats) = ida(&reps, &mut source, &IdaConfig::default());
 
     // Phase 3: per-group refinement (§4.3). Each group's customer share is

@@ -140,7 +140,7 @@ pub fn ida<S: CustomerSource>(
 
     // ---- Theorem-2 fast phase --------------------------------------
     if !cfg.disable_fast_phase {
-        while done < gamma && engine.no_provider_full() {
+        while done < gamma && engine.no_provider_full() && source.abort_reason().is_none() {
             let Some((qi, c)) = heap.pop() else {
                 break; // NN streams exhausted; every edge is in Esub
             };
@@ -149,7 +149,9 @@ pub fn ida<S: CustomerSource>(
         }
     }
     engine.finish_fast_phase();
-    if done >= gamma {
+    if done >= gamma || source.abort_reason().is_some() {
+        // Finished — or aborted (cancelled / deadline / I/O budget): return
+        // the partial matching built so far with its partial stats.
         let matching = engine.matching();
         let mut stats = engine.stats;
         stats.cpu_time = start.elapsed();
@@ -157,7 +159,10 @@ pub fn ida<S: CustomerSource>(
     }
 
     // ---- Dijkstra phase (Algorithm 4) -------------------------------
-    while done < gamma {
+    'outer: while done < gamma {
+        if source.abort_reason().is_some() {
+            break;
+        }
         if cfg.key_mode == IdaKeyMode::Safe {
             // Forget cross-iteration α terms; the potential-lag part is
             // always current (it only changes at commits) and therefore
@@ -211,6 +216,11 @@ pub fn ida<S: CustomerSource>(
                 break;
             }
             engine.note_invalid();
+            if source.abort_reason().is_some() {
+                // The streams dried up because the query aborted, not
+                // because the edge set is complete: stop with what we have.
+                break 'outer;
+            }
             assert!(
                 heap.top_key().is_finite() || engine.alpha_t().is_some(),
                 "sink unreachable with the complete edge set: γ miscomputed"

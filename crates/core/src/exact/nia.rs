@@ -87,11 +87,16 @@ pub fn nia<S: CustomerSource>(
     let mut heap = EdgeHeap::new(providers.len(), source);
 
     let mut done = 0u64;
-    while done < gamma {
+    'outer: while done < gamma {
         // One SSPA iteration (Algorithm 3 lines 6–17): keep de-heaping and
         // inserting edges until the Theorem-1 test validates the sp.
         let mut have_sp = false;
         loop {
+            if source.abort_reason().is_some() {
+                // Aborted (cancelled / deadline / I/O budget): the streams
+                // are dry by construction, so stop with the partial result.
+                break 'outer;
+            }
             if let Some((qi, c)) = heap.pop(source) {
                 if have_sp && cfg.use_pua {
                     engine.insert_edge_reoptimize(qi, c.id, c.pos, c.weight, c.dist);
@@ -115,6 +120,12 @@ pub fn nia<S: CustomerSource>(
                 break;
             }
             engine.note_invalid();
+            if source.abort_reason().is_some() {
+                // The streams dried up because the query aborted mid-pop
+                // (e.g. the refill's fault tripped the budget), not because
+                // the edge set is complete: stop with what we have.
+                break 'outer;
+            }
             assert!(
                 heap.top_key().is_finite() || engine.alpha_t().is_some(),
                 "sink unreachable with the complete edge set: γ miscomputed"

@@ -50,6 +50,12 @@ pub fn ria<S: CustomerSource>(
 
     let mut done = 0u64;
     while done < gamma {
+        if source.abort_reason().is_some() {
+            // Aborted (cancelled / deadline / I/O budget): further range
+            // extensions would come back empty, so stop with the partial
+            // matching instead of growing T forever.
+            break;
+        }
         engine.begin_iteration();
         // Once every possible edge is present, the unexplored set is empty
         // and any shortest path is trivially valid.

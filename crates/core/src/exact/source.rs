@@ -8,7 +8,7 @@
 
 use cca_geo::Point;
 use cca_rtree::{GroupAnn, IncNn, RTree};
-use cca_storage::IoSession;
+use cca_storage::{AbortReason, QueryContext};
 
 /// A customer record yielded by a source.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,6 +37,15 @@ pub trait CustomerSource {
     /// Customers with `lo < dist(q_i, p) ≤ hi` (or `dist ≤ hi` when
     /// `include_lo`), for RIA's (annular) range searches.
     fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer>;
+
+    /// Why the source's query context aborted, if it did. A source that
+    /// aborts makes its NN streams dry up and its range searches come back
+    /// empty; the algorithm drivers poll this at their loop heads and
+    /// unwind with a partial matching instead of spinning on an exhausted
+    /// source. Memory-backed sources never abort.
+    fn abort_reason(&self) -> Option<AbortReason> {
+        None
+    }
 }
 
 /// Forwarding impl so trait objects (`&mut dyn CustomerSource`) satisfy the
@@ -58,6 +67,10 @@ impl<T: CustomerSource + ?Sized> CustomerSource for &mut T {
     fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer> {
         (**self).range(qi, lo, hi, include_lo)
     }
+
+    fn abort_reason(&self) -> Option<AbortReason> {
+        (**self).abort_reason()
+    }
 }
 
 /// Customers indexed by the disk-resident R-tree (the paper's primary
@@ -67,9 +80,10 @@ pub struct RtreeSource<'t> {
     tree: &'t RTree,
     providers: Vec<Point>,
     cursors: Cursors<'t>,
-    /// Attribution session shared by every cursor and range search this
-    /// source issues; the whole query's tree traffic lands in one place.
-    session: Option<IoSession>,
+    /// Query context shared by every cursor and range search this source
+    /// issues: the whole query's tree traffic lands in one place, and one
+    /// abort (cancellation / deadline / I/O budget) stops every cursor.
+    ctx: Option<QueryContext>,
 }
 
 enum Cursors<'t> {
@@ -84,42 +98,34 @@ enum Cursors<'t> {
 impl<'t> RtreeSource<'t> {
     /// One independent incremental-NN cursor per provider.
     pub fn new(tree: &'t RTree, providers: Vec<Point>) -> Self {
-        Self::new_session(tree, providers, None)
+        Self::new_ctx(tree, providers, None)
     }
 
-    /// [`RtreeSource::new`] with all traversal I/O charged to `session`.
-    pub fn new_session(
-        tree: &'t RTree,
-        providers: Vec<Point>,
-        session: Option<&IoSession>,
-    ) -> Self {
-        let cursors = Cursors::Plain(
-            providers
-                .iter()
-                .map(|&q| tree.inc_nn_session(q, session))
-                .collect(),
-        );
+    /// [`RtreeSource::new`] with all traversal I/O charged to `ctx` and
+    /// every cursor subject to its abort checks.
+    pub fn new_ctx(tree: &'t RTree, providers: Vec<Point>, ctx: Option<&QueryContext>) -> Self {
+        let cursors = Cursors::Plain(providers.iter().map(|&q| tree.inc_nn_ctx(q, ctx)).collect());
         RtreeSource {
             tree,
             providers,
             cursors,
-            session: session.cloned(),
+            ctx: ctx.cloned(),
         }
     }
 
     /// Grouped incremental ANN (§3.4.2): providers are Hilbert-sorted and cut
     /// into groups of `group_size`; members of a group share R-tree reads.
     pub fn with_ann_groups(tree: &'t RTree, providers: Vec<Point>, group_size: usize) -> Self {
-        Self::with_ann_groups_session(tree, providers, group_size, None)
+        Self::with_ann_groups_ctx(tree, providers, group_size, None)
     }
 
     /// [`RtreeSource::with_ann_groups`] with all traversal I/O charged to
-    /// `session`.
-    pub fn with_ann_groups_session(
+    /// `ctx` and every group heap subject to its abort checks.
+    pub fn with_ann_groups_ctx(
         tree: &'t RTree,
         providers: Vec<Point>,
         group_size: usize,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
     ) -> Self {
         assert!(group_size >= 1);
         let order = cca_geo::hilbert::sort_by_hilbert(&providers, cca_geo::WORLD_SIZE);
@@ -131,13 +137,13 @@ impl<'t> RtreeSource<'t> {
             for (m, &i) in chunk.iter().enumerate() {
                 map[i] = (gidx, m as u32);
             }
-            groups.push(tree.group_ann_session(members, session));
+            groups.push(tree.group_ann_ctx(members, ctx));
         }
         RtreeSource {
             tree,
             providers,
             cursors: Cursors::Grouped { groups, map },
-            session: session.cloned(),
+            ctx: ctx.cloned(),
         }
     }
 }
@@ -169,13 +175,16 @@ impl CustomerSource for RtreeSource<'_> {
 
     fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer> {
         let q = self.providers[qi];
-        let session = self.session.as_ref();
+        let ctx = self.ctx.as_ref();
         let hits = if include_lo {
-            self.tree.range_search_session(q, hi, session)
+            self.tree.range_search_ctx(q, hi, ctx)
         } else {
-            self.tree.annular_range_search_session(q, lo, hi, session)
+            self.tree.annular_range_search_ctx(q, lo, hi, ctx)
         };
-        hits.into_iter()
+        // An aborted search yields nothing; the driver sees the abort via
+        // `abort_reason` and stops extending its range.
+        hits.unwrap_or_default()
+            .into_iter()
             .map(|(pos, id, dist)| SourcedCustomer {
                 id,
                 pos,
@@ -183,6 +192,10 @@ impl CustomerSource for RtreeSource<'_> {
                 dist,
             })
             .collect()
+    }
+
+    fn abort_reason(&self) -> Option<AbortReason> {
+        self.ctx.as_ref().and_then(|c| c.abort_reason())
     }
 }
 

@@ -21,13 +21,12 @@ pub mod solver;
 pub mod stats;
 
 pub use approx::{
-    ca, ca_error_bound, ca_session, sa, sa_error_bound, sa_session, CaConfig, RefineMethod,
-    SaConfig,
+    ca, ca_ctx, ca_error_bound, sa, sa_ctx, sa_error_bound, CaConfig, RefineMethod, SaConfig,
 };
 pub use exact::{
     ida, nia, ria, CustomerSource, IdaConfig, IdaKeyMode, MemorySource, NiaConfig, RiaConfig,
     RtreeSource,
 };
 pub use matching::{MatchPair, Matching};
-pub use solver::{Problem, Solver, SolverConfig, SolverRegistry};
+pub use solver::{Outcome, Problem, Solver, SolverConfig, SolverRegistry};
 pub use stats::AlgoStats;

@@ -2,12 +2,15 @@
 //! interface, constructible from data.
 //!
 //! * [`Problem`] — one query: providers plus customer access (R-tree or
-//!   in-memory slice), built builder-style.
+//!   in-memory slice), built builder-style, optionally carrying a
+//!   [`cca_storage::QueryContext`] (deadline / I/O budget / cancellation).
 //! * [`Solver`] — the algorithm interface: `name()`, `label()`, source
 //!   construction and `solve`.
+//! * [`Outcome`] — what a run produced: a complete result, or a partial
+//!   one with the [`AbortReason`].
 //! * [`SolverConfig`] — a solver selection as plain data (name + params).
 //! * [`SolverRegistry`] — name → factory, so benches, examples and the
-//!   batch runner enumerate and select algorithms uniformly.
+//!   serving layer enumerate and select algorithms uniformly.
 //!
 //! ```
 //! use cca_core::solver::{Problem, SolverConfig, SolverRegistry};
@@ -19,7 +22,7 @@
 //!
 //! let registry = SolverRegistry::with_defaults();
 //! let solver = registry.build(&SolverConfig::new("ida")).unwrap();
-//! let (matching, _stats) = solver.run(&problem);
+//! let (matching, _stats) = solver.run(&problem).expect_complete();
 //! assert_eq!(matching.size(), 2);
 //! ```
 
@@ -35,9 +38,93 @@ pub use solvers::{
     CaSolver, IdaGroupedSolver, IdaSolver, NiaSolver, RiaSolver, SaSolver, SspaSolver,
 };
 
+use cca_storage::AbortReason;
+
 use crate::exact::CustomerSource;
 use crate::matching::Matching;
 use crate::stats::AlgoStats;
+
+/// The result of one [`Solver::run`]: either the algorithm ran to the
+/// optimal (or bounded-approximate) matching, or the query's
+/// [`cca_storage::QueryContext`] aborted it — cancellation, deadline or I/O
+/// budget — and the run unwound with whatever it had.
+///
+/// Aborted runs still carry exact partial I/O attribution: `partial_stats.io`
+/// is precisely the traffic the query charged before stopping (for a fault
+/// budget, `io.faults` equals the budget).
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The algorithm ran to completion.
+    Complete {
+        matching: Matching,
+        stats: AlgoStats,
+    },
+    /// The query aborted; `partial` is the (possibly empty) matching built
+    /// so far and `partial_stats` the measurements up to the abort.
+    Aborted {
+        partial: Matching,
+        partial_stats: AlgoStats,
+        reason: AbortReason,
+    },
+}
+
+impl Outcome {
+    /// The matching — complete or partial.
+    pub fn matching(&self) -> &Matching {
+        match self {
+            Outcome::Complete { matching, .. } => matching,
+            Outcome::Aborted { partial, .. } => partial,
+        }
+    }
+
+    /// The run's measurements — complete or partial.
+    pub fn stats(&self) -> &AlgoStats {
+        match self {
+            Outcome::Complete { stats, .. } => stats,
+            Outcome::Aborted { partial_stats, .. } => partial_stats,
+        }
+    }
+
+    /// Why the run aborted, or `None` when it completed.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            Outcome::Complete { .. } => None,
+            Outcome::Aborted { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// True when the run finished without aborting.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete { .. })
+    }
+
+    /// Unwraps matching and stats regardless of completeness (serving
+    /// paths that want the partial result keep the reason via
+    /// [`Outcome::abort_reason`] first).
+    pub fn into_parts(self) -> (Matching, AlgoStats) {
+        match self {
+            Outcome::Complete { matching, stats } => (matching, stats),
+            Outcome::Aborted {
+                partial,
+                partial_stats,
+                ..
+            } => (partial, partial_stats),
+        }
+    }
+
+    /// Unwraps a completed run.
+    ///
+    /// # Panics
+    /// Panics if the run aborted.
+    pub fn expect_complete(self) -> (Matching, AlgoStats) {
+        match self {
+            Outcome::Complete { matching, stats } => (matching, stats),
+            Outcome::Aborted { reason, .. } => {
+                panic!("query aborted ({reason}) where completion was required")
+            }
+        }
+    }
+}
 
 /// A CCA algorithm behind a uniform interface.
 ///
@@ -63,28 +150,50 @@ pub trait Solver: Send + Sync {
     /// Solves `problem` over `source`, returning the matching and the
     /// paper's per-run measurements. Implementations leave
     /// [`AlgoStats::io`] untouched — [`Solver::run`] fills it from the
-    /// problem's [`cca_storage::IoSession`] when one is attached.
+    /// problem's [`cca_storage::QueryContext`] when one is attached. An
+    /// aborting context makes the source dry up; implementations return
+    /// their partial matching and `run` wraps it as [`Outcome::Aborted`].
     fn solve(
         &self,
         problem: &Problem<'_>,
         source: &mut dyn CustomerSource,
     ) -> (Matching, AlgoStats);
 
-    /// Convenience: build the preferred source and solve.
+    /// Convenience: build the preferred source, solve, classify.
     ///
-    /// When the problem carries an attribution session, the session traffic
-    /// accrued during this run (source construction included — grouped-ANN
-    /// sources may touch the tree eagerly) is copied into the returned
-    /// [`AlgoStats::io`], giving per-query I/O even when many runs share
-    /// one buffer pool concurrently.
-    fn run(&self, problem: &Problem<'_>) -> (Matching, AlgoStats) {
-        let io_before = problem.session().map(|s| s.stats());
+    /// When the problem carries a [`cca_storage::QueryContext`], the
+    /// context traffic accrued during this run (source construction
+    /// included — grouped-ANN sources may touch the tree eagerly) is copied
+    /// into the returned [`AlgoStats::io`], giving per-query I/O even when
+    /// many runs share one buffer pool concurrently; and if the context
+    /// aborted (cancellation, deadline, I/O budget) the result is
+    /// [`Outcome::Aborted`] carrying the partial matching and its exact
+    /// partial attribution.
+    ///
+    /// Classification is by the context's state *when the run finishes*:
+    /// a run whose deadline expires (or that is cancelled) during its
+    /// final CPU-only phase is reported `Aborted` even though its matching
+    /// is in fact complete — in serving terms the SLA was missed and the
+    /// result is treated as late, the deliberate, conservative reading.
+    /// Callers that prefer the opposite reading can still use the carried
+    /// matching: `Aborted { partial, .. }` always holds everything the
+    /// algorithm produced.
+    fn run(&self, problem: &Problem<'_>) -> Outcome {
+        let ctx = problem.context();
+        let io_before = ctx.map(|c| c.stats());
         let mut source = self.make_source(problem);
         let (matching, mut stats) = self.solve(problem, &mut *source);
-        if let (Some(session), Some(before)) = (problem.session(), io_before) {
-            stats.io = session.stats().since(&before);
+        if let (Some(ctx), Some(before)) = (ctx, io_before) {
+            stats.io = ctx.stats().since(&before);
         }
-        (matching, stats)
+        match ctx.and_then(|c| c.abort_reason()) {
+            Some(reason) => Outcome::Aborted {
+                partial: matching,
+                partial_stats: stats,
+                reason,
+            },
+            None => Outcome::Complete { matching, stats },
+        }
     }
 }
 
@@ -109,7 +218,9 @@ mod tests {
             let solver = registry
                 .build(&SolverConfig::new(name).theta(25.0).delta(1e-9))
                 .unwrap();
-            let (matching, stats) = solver.run(&problem);
+            let outcome = solver.run(&problem);
+            assert!(outcome.is_complete(), "{name}: no context, no abort");
+            let (matching, stats) = outcome.expect_complete();
             matching
                 .validate_unit(&providers, &customers)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -134,7 +245,7 @@ mod tests {
             let solver = SolverRegistry::with_defaults()
                 .build(&SolverConfig::new(name).theta(25.0))
                 .unwrap();
-            let (matching, _) = solver.run(&problem);
+            let (matching, _) = solver.run(&problem).expect_complete();
             assert!(
                 (matching.cost() - want).abs() < 1e-6,
                 "{name}: {} vs {want}",

@@ -2,7 +2,7 @@
 
 use cca_geo::Point;
 use cca_rtree::RTree;
-use cca_storage::IoSession;
+use cca_storage::QueryContext;
 
 use crate::exact::{CustomerSource, MemorySource, RtreeSource};
 
@@ -27,7 +27,7 @@ pub struct Problem<'a> {
     providers: &'a [(Point, u32)],
     tree: Option<&'a RTree>,
     customers: Option<&'a [Point]>,
-    session: Option<&'a IoSession>,
+    context: Option<&'a QueryContext>,
 }
 
 impl<'a> Problem<'a> {
@@ -37,7 +37,7 @@ impl<'a> Problem<'a> {
             providers,
             tree: None,
             customers: None,
-            session: None,
+            context: None,
         }
     }
 
@@ -53,18 +53,21 @@ impl<'a> Problem<'a> {
         self
     }
 
-    /// Attaches a per-query I/O attribution session: every page the query
-    /// touches (via its sources or direct tree descents) is charged there,
-    /// and [`crate::solver::Solver::run`] copies the session's traffic into
-    /// the returned [`crate::stats::AlgoStats::io`].
-    pub fn with_session(mut self, session: &'a IoSession) -> Self {
-        self.session = Some(session);
+    /// Attaches a per-query [`QueryContext`]: every page the query touches
+    /// (via its sources or direct tree descents) is charged there,
+    /// [`crate::solver::Solver::run`] copies the context's traffic into the
+    /// returned [`crate::stats::AlgoStats::io`], and the context's limits
+    /// (deadline / I/O budget / cancellation) govern the run — an aborted
+    /// context makes `run` return [`crate::solver::Outcome::Aborted`] with
+    /// the partial result.
+    pub fn with_context(mut self, context: &'a QueryContext) -> Self {
+        self.context = Some(context);
         self
     }
 
-    /// The attached attribution session, if any.
-    pub fn session(&self) -> Option<&'a IoSession> {
-        self.session
+    /// The attached query context, if any.
+    pub fn context(&self) -> Option<&'a QueryContext> {
+        self.context
     }
 
     /// Providers (position, capacity).
@@ -109,10 +112,10 @@ impl<'a> Problem<'a> {
     /// If neither a tree nor a customer slice is attached.
     pub fn source(&self) -> Box<dyn CustomerSource + 'a> {
         match (self.tree, self.customers) {
-            (Some(tree), _) => Box::new(RtreeSource::new_session(
+            (Some(tree), _) => Box::new(RtreeSource::new_ctx(
                 tree,
                 self.provider_positions(),
-                self.session,
+                self.context,
             )),
             (None, Some(customers)) => Box::new(MemorySource::new(
                 self.provider_positions(),
@@ -128,11 +131,11 @@ impl<'a> Problem<'a> {
     /// when the problem is memory-resident.
     pub fn grouped_source(&self, group_size: usize) -> Box<dyn CustomerSource + 'a> {
         match self.tree {
-            Some(tree) => Box::new(RtreeSource::with_ann_groups_session(
+            Some(tree) => Box::new(RtreeSource::with_ann_groups_ctx(
                 tree,
                 self.provider_positions(),
                 group_size,
-                self.session,
+                self.context,
             )),
             None => self.source(),
         }

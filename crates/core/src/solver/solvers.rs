@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use cca_flow::sspa::{solve_complete_bipartite, FlowCustomer, FlowProvider};
 
-use crate::approx::{ca_session, sa_session, CaConfig, SaConfig};
+use crate::approx::{ca_ctx, sa_ctx, CaConfig, SaConfig};
 use crate::exact::{ida, nia, ria, CustomerSource, IdaConfig, NiaConfig, RiaConfig};
 use crate::matching::{MatchPair, Matching};
 use crate::solver::{Problem, Solver};
@@ -254,7 +254,7 @@ impl Solver for SaSolver {
         let tree = problem
             .tree()
             .expect("sa requires an R-tree-backed problem");
-        sa_session(problem.providers(), tree, &self.cfg, problem.session())
+        sa_ctx(problem.providers(), tree, &self.cfg, problem.context())
     }
 }
 
@@ -288,6 +288,6 @@ impl Solver for CaSolver {
         let tree = problem
             .tree()
             .expect("ca requires an R-tree-backed problem");
-        ca_session(problem.providers(), tree, &self.cfg, problem.session())
+        ca_ctx(problem.providers(), tree, &self.cfg, problem.context())
     }
 }

@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use cca_geo::{OrdF64, Point, Rect};
-use cca_storage::{IoSession, PageId};
+use cca_storage::{AbortReason, PageId, QueryContext};
 
 use crate::entry::ItemId;
 use crate::node;
@@ -63,8 +63,11 @@ pub struct GroupAnn<'t> {
     res: Vec<BinaryHeap<Reverse<Candidate>>>,
     /// Points already handed to candidate heaps (for accounting/tests).
     points_seen: usize,
-    /// Per-query attribution handle for every page this group search reads.
-    session: Option<IoSession>,
+    /// Per-query control block for every page this group search reads; the
+    /// search stops expanding entries once the context aborts.
+    ctx: Option<QueryContext>,
+    /// Why the search stopped early, if it did.
+    aborted: Option<AbortReason>,
 }
 
 impl<'t> GroupAnn<'t> {
@@ -74,11 +77,11 @@ impl<'t> GroupAnn<'t> {
     /// Panics on an empty member list — groups come from Hilbert
     /// partitioning which never emits empty groups.
     pub fn new(tree: &'t RTree, members: Vec<Point>) -> Self {
-        Self::with_session(tree, members, None)
+        Self::with_ctx(tree, members, None)
     }
 
-    /// [`GroupAnn::new`] with the search's I/O charged to `session`.
-    pub fn with_session(tree: &'t RTree, members: Vec<Point>, session: Option<IoSession>) -> Self {
+    /// [`GroupAnn::new`] with the search's I/O charged to `ctx`.
+    pub fn with_ctx(tree: &'t RTree, members: Vec<Point>, ctx: Option<QueryContext>) -> Self {
         assert!(!members.is_empty(), "ANN group must be non-empty");
         let group_mbr: Rect = members.iter().copied().collect();
         let mut hm = BinaryHeap::new();
@@ -97,13 +100,21 @@ impl<'t> GroupAnn<'t> {
             hm,
             res,
             points_seen: 0,
-            session,
+            ctx,
+            aborted: None,
         }
     }
 
     /// Number of members in the group.
     pub fn num_members(&self) -> usize {
         self.members.len()
+    }
+
+    /// Why the shared search aborted (cancellation / deadline / I/O
+    /// budget), if it did. After an abort, members only drain candidates
+    /// already fetched; `next_nn` then returns `None`.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        self.aborted
     }
 
     /// Total customers inserted into candidate heaps so far.
@@ -150,14 +161,21 @@ impl<'t> GroupAnn<'t> {
     /// De-heaps the top entry of `Hm`; directory entries are expanded, leaf
     /// pages scatter their points into every member's candidate heap.
     fn expand_top(&mut self) {
+        if let Some(reason) = self.ctx.as_ref().and_then(|c| c.abort_reason()) {
+            // Drop the shared frontier before touching the page: members
+            // drain their buffered candidates and then see exhaustion.
+            self.aborted = Some(reason);
+            self.hm.clear();
+            return;
+        }
         let Reverse(key) = self.hm.pop().expect("expand_top on empty Hm");
         let page = PageId(key.page);
-        let session = self.session.as_ref();
+        let ctx = self.ctx.as_ref();
         if key.level_height == 1 {
             let members = &self.members;
             let res = &mut self.res;
             let mut seen = 0usize;
-            self.tree.store().with_page_session(page, session, |bytes| {
+            self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
                     seen += 1;
                     for (m, heap) in members.iter().zip(res.iter_mut()) {
@@ -173,7 +191,7 @@ impl<'t> GroupAnn<'t> {
         } else {
             let gm = self.group_mbr;
             let hm = &mut self.hm;
-            self.tree.store().with_page_session(page, session, |bytes| {
+            self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_inner_entry(bytes, |mbr, child| {
                     hm.push(Reverse(GroupHeapKey {
                         dist: OrdF64::new(gm.mindist_rect(&mbr)),
@@ -193,13 +211,10 @@ impl RTree {
         GroupAnn::new(self, members)
     }
 
-    /// [`RTree::group_ann`] with the search's I/O charged to `session`.
-    pub fn group_ann_session(
-        &self,
-        members: Vec<Point>,
-        session: Option<&IoSession>,
-    ) -> GroupAnn<'_> {
-        GroupAnn::with_session(self, members, session.cloned())
+    /// [`RTree::group_ann`] with the search's I/O charged to `ctx`; the
+    /// shared heap stops expanding entries once the context aborts.
+    pub fn group_ann_ctx(&self, members: Vec<Point>, ctx: Option<&QueryContext>) -> GroupAnn<'_> {
+        GroupAnn::with_ctx(self, members, ctx.cloned())
     }
 }
 

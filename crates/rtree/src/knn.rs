@@ -10,7 +10,7 @@ use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use cca_geo::{OrdF64, Point};
-use cca_storage::{IoSession, PageId};
+use cca_storage::{AbortReason, Aborted, PageId, QueryContext};
 
 use crate::entry::ItemId;
 use crate::node;
@@ -68,13 +68,16 @@ pub struct IncNn<'t> {
     query: Point,
     heap: BinaryHeap<Reverse<HeapItem>>,
     yielded: usize,
-    /// Per-query attribution handle; every page this cursor faults or hits
-    /// is charged here in addition to the store's shard counters.
-    session: Option<IoSession>,
+    /// Per-query control block; every page this cursor faults or hits is
+    /// charged here in addition to the store's shard counters, and the
+    /// cursor stops expanding nodes the moment the context aborts.
+    ctx: Option<QueryContext>,
+    /// Why the cursor stopped early, if it did.
+    aborted: Option<AbortReason>,
 }
 
 impl<'t> IncNn<'t> {
-    pub(crate) fn new(tree: &'t RTree, query: Point, session: Option<IoSession>) -> Self {
+    pub(crate) fn new(tree: &'t RTree, query: Point, ctx: Option<QueryContext>) -> Self {
         let mut heap = BinaryHeap::new();
         if !tree.is_empty() {
             heap.push(Reverse(HeapItem {
@@ -87,13 +90,21 @@ impl<'t> IncNn<'t> {
             query,
             heap,
             yielded: 0,
-            session,
+            ctx,
+            aborted: None,
         }
     }
 
     /// Number of neighbours yielded so far.
     pub fn yielded(&self) -> usize {
         self.yielded
+    }
+
+    /// Why the cursor aborted (context cancelled / deadline / I/O budget),
+    /// if it did. An aborted cursor yields `None` from then on; the
+    /// neighbours already yielded remain correct.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        self.aborted
     }
 
     /// Distance of the next neighbour without consuming it, if any.
@@ -116,11 +127,18 @@ impl<'t> IncNn<'t> {
     }
 
     fn expand(&mut self, page: PageId, level_height: u32) {
+        if let Some(reason) = self.ctx.as_ref().and_then(|c| c.abort_reason()) {
+            // Stop before the page access: drop the frontier so the
+            // iterator ends instead of burning further I/O.
+            self.aborted = Some(reason);
+            self.heap.clear();
+            return;
+        }
         let q = self.query;
         let heap = &mut self.heap;
-        let session = self.session.as_ref();
+        let ctx = self.ctx.as_ref();
         if level_height == 1 {
-            self.tree.store().with_page_session(page, session, |bytes| {
+            self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
                     heap.push(Reverse(HeapItem {
                         dist: OrdF64::new(q.dist(&p)),
@@ -129,7 +147,7 @@ impl<'t> IncNn<'t> {
                 });
             });
         } else {
-            self.tree.store().with_page_session(page, session, |bytes| {
+            self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_inner_entry(bytes, |mbr, child| {
                     heap.push(Reverse(HeapItem {
                         dist: OrdF64::new(mbr.mindist(&q)),
@@ -163,9 +181,11 @@ impl RTree {
         IncNn::new(self, query, None)
     }
 
-    /// [`RTree::inc_nn`] with the cursor's I/O charged to `session`.
-    pub fn inc_nn_session(&self, query: Point, session: Option<&IoSession>) -> IncNn<'_> {
-        IncNn::new(self, query, session.cloned())
+    /// [`RTree::inc_nn`] with the cursor's I/O charged to `ctx`; the cursor
+    /// checks the context before every node expansion and stops (recording
+    /// [`IncNn::abort_reason`]) on cancellation, deadline or budget.
+    pub fn inc_nn_ctx(&self, query: Point, ctx: Option<&QueryContext>) -> IncNn<'_> {
+        IncNn::new(self, query, ctx.cloned())
     }
 
     /// The `k` nearest neighbours of `query` in ascending distance order.
@@ -173,14 +193,21 @@ impl RTree {
         self.inc_nn(query).take(k).collect()
     }
 
-    /// [`RTree::knn`] with the search's I/O charged to `session`.
-    pub fn knn_session(
+    /// [`RTree::knn`] under a query context: the search's I/O is charged to
+    /// `ctx` and an aborted search returns the typed error instead of a
+    /// silently truncated result.
+    pub fn knn_ctx(
         &self,
         query: Point,
         k: usize,
-        session: Option<&IoSession>,
-    ) -> Vec<(Point, ItemId, f64)> {
-        self.inc_nn_session(query, session).take(k).collect()
+        ctx: Option<&QueryContext>,
+    ) -> Result<Vec<(Point, ItemId, f64)>, Aborted> {
+        let mut cursor = self.inc_nn_ctx(query, ctx);
+        let hits: Vec<_> = cursor.by_ref().take(k).collect();
+        match cursor.abort_reason() {
+            Some(reason) => Err(Aborted { reason }),
+            None => Ok(hits),
+        }
     }
 }
 
@@ -295,20 +322,61 @@ mod tests {
     }
 
     #[test]
-    fn session_sees_exactly_the_cursor_traffic() {
-        use cca_storage::IoSession;
+    fn context_sees_exactly_the_cursor_traffic() {
         let items = random_items(5000, 27);
         let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
         tree.finish_build(100.0);
-        let session = IoSession::new();
+        let ctx = QueryContext::new();
         let before = tree.io_stats();
-        let _ = tree.knn_session(Point::new(500.0, 500.0), 200, Some(&session));
+        let _ = tree
+            .knn_ctx(Point::new(500.0, 500.0), 200, Some(&ctx))
+            .unwrap();
         let delta = tree.io_stats().since(&before);
-        assert!(session.stats().faults > 0, "kNN must fault cold pages");
-        assert_eq!(session.stats(), delta, "session mirrors the global delta");
-        // A sessionless search on the same tree charges nothing to it.
+        assert!(ctx.stats().faults > 0, "kNN must fault cold pages");
+        assert_eq!(ctx.stats(), delta, "context mirrors the global delta");
+        // A context-free search on the same tree charges nothing to it.
         let _ = tree.knn(Point::new(100.0, 100.0), 50);
-        assert_eq!(session.stats(), delta);
+        assert_eq!(ctx.stats(), delta);
+    }
+
+    #[test]
+    fn budget_exhausted_cursor_aborts_with_exact_faults() {
+        let items = random_items(20000, 28);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 8192), &items);
+        tree.finish_build(1.0); // tiny buffer: exhausting the cursor faults a lot
+        let budget = 5;
+        let ctx = QueryContext::new().with_io_budget(budget);
+        let mut cursor = tree.inc_nn_ctx(Point::new(500.0, 500.0), Some(&ctx));
+        let yielded = cursor.by_ref().count();
+        assert_eq!(cursor.abort_reason(), Some(AbortReason::IoBudgetExceeded));
+        assert!(yielded < items.len(), "abort must cut the scan short");
+        assert_eq!(
+            ctx.stats().faults,
+            budget,
+            "the fault that reaches the budget is the last one charged"
+        );
+        // The eager wrapper surfaces the same abort as a typed error.
+        let ctx2 = QueryContext::new().with_io_budget(budget);
+        let err = tree
+            .knn_ctx(Point::new(500.0, 500.0), items.len(), Some(&ctx2))
+            .unwrap_err();
+        assert_eq!(err.reason, AbortReason::IoBudgetExceeded);
+    }
+
+    #[test]
+    fn cancelled_cursor_stops_immediately() {
+        let items = random_items(2000, 29);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
+        let ctx = QueryContext::new();
+        let mut cursor = tree.inc_nn_ctx(Point::new(0.0, 0.0), Some(&ctx));
+        let first = cursor.next();
+        assert!(first.is_some());
+        ctx.cancel();
+        // The already-buffered frontier may still hold points, but the
+        // cursor refuses to expand further nodes and soon ends.
+        let rest = cursor.by_ref().count();
+        assert!(rest < items.len() - 1);
+        assert_eq!(cursor.abort_reason(), Some(AbortReason::Cancelled));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! by the concise matching phase.
 
 use cca_geo::{Point, Rect};
-use cca_storage::{IoSession, PageId};
+use cca_storage::{Aborted, PageId, QueryContext};
 
 use crate::entry::ItemId;
 use crate::node::{self};
@@ -47,23 +47,28 @@ impl RTree {
     ///
     /// Every returned group is non-empty and the groups partition `P`.
     pub fn partition_by_diagonal(&self, delta: f64) -> Vec<CustomerGroup> {
-        self.partition_by_diagonal_session(delta, None)
+        self.partition_by_diagonal_ctx(delta, None)
+            .expect("a context-free descent cannot abort")
     }
 
     /// [`RTree::partition_by_diagonal`] with the descent's I/O charged to
-    /// `session`.
-    pub fn partition_by_diagonal_session(
+    /// `ctx`.
+    ///
+    /// The descent polls the context before every page visit and returns
+    /// the typed [`Aborted`] error on cancellation, deadline expiry or an
+    /// exhausted I/O budget.
+    pub fn partition_by_diagonal_ctx(
         &self,
         delta: f64,
-        session: Option<&IoSession>,
-    ) -> Vec<CustomerGroup> {
+        ctx: Option<&QueryContext>,
+    ) -> Result<Vec<CustomerGroup>, Aborted> {
         assert!(delta > 0.0, "delta must be positive");
         let mut out = Vec::new();
         if self.is_empty() {
-            return out;
+            return Ok(out);
         }
-        self.partition_rec(self.root(), self.height(), delta, session, &mut out);
-        out
+        self.partition_rec(self.root(), self.height(), delta, ctx, &mut out)?;
+        Ok(out)
     }
 
     fn partition_rec(
@@ -71,45 +76,48 @@ impl RTree {
         page: PageId,
         level_height: u32,
         delta: f64,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
         out: &mut Vec<CustomerGroup>,
-    ) {
+    ) -> Result<(), Aborted> {
+        if let Some(ctx) = ctx {
+            ctx.check()?;
+        }
         if level_height > 1 {
             // Inner node: entries small enough become groups wholesale;
             // larger ones are descended into.
-            let entries: Vec<(Rect, PageId)> =
-                self.store().with_page_session(page, session, |bytes| {
-                    let mut v = Vec::with_capacity(node::entry_count(bytes));
-                    node::for_each_inner_entry(bytes, |mbr, child| v.push((mbr, child)));
-                    v
-                });
+            let entries: Vec<(Rect, PageId)> = self.store().with_page_ctx(page, ctx, |bytes| {
+                let mut v = Vec::with_capacity(node::entry_count(bytes));
+                node::for_each_inner_entry(bytes, |mbr, child| v.push((mbr, child)));
+                v
+            });
             for (mbr, child) in entries {
                 if mbr.diagonal() <= delta {
                     let mut members = Vec::new();
-                    self.for_each_point_under(child, level_height - 1, session, &mut |p, id| {
+                    self.for_each_point_under(child, level_height - 1, ctx, &mut |p, id| {
                         members.push((p, id));
-                    });
+                    })?;
                     if !members.is_empty() {
                         out.push(CustomerGroup { mbr, members });
                     }
                 } else {
-                    self.partition_rec(child, level_height - 1, delta, session, out);
+                    self.partition_rec(child, level_height - 1, delta, ctx, out)?;
                 }
             }
-            return;
+            return Ok(());
         }
 
         // Leaf: collect the points, then conceptually split until the
         // δ constraint holds.
         let mut members = Vec::new();
-        self.store().with_page_session(page, session, |bytes| {
+        self.store().with_page_ctx(page, ctx, |bytes| {
             node::for_each_leaf_entry(bytes, |p, id| members.push((p, id)));
         });
         if members.is_empty() {
-            return;
+            return Ok(());
         }
         let mbr: Rect = members.iter().map(|&(p, _)| p).collect();
         split_until_delta(mbr, members, delta, out);
+        Ok(())
     }
 }
 

@@ -5,7 +5,7 @@
 //! `(T − θ, T]` — both implemented here with MBR-based pruning.
 
 use cca_geo::Point;
-use cca_storage::{IoSession, PageId};
+use cca_storage::{Aborted, PageId, QueryContext};
 
 use crate::entry::ItemId;
 use crate::node;
@@ -15,19 +15,24 @@ impl RTree {
     /// Returns all points within Euclidean distance `r` of `center`
     /// (inclusive), together with their distances.
     pub fn range_search(&self, center: Point, r: f64) -> Vec<(Point, ItemId, f64)> {
-        self.range_search_session(center, r, None)
+        self.range_search_ctx(center, r, None)
+            .expect("a context-free search cannot abort")
     }
 
-    /// [`RTree::range_search`] with the search's I/O charged to `session`.
-    pub fn range_search_session(
+    /// [`RTree::range_search`] with the search's I/O charged to `ctx`.
+    ///
+    /// The descent polls the context before every page visit and returns
+    /// the typed [`Aborted`] error instead of traversing on when the query
+    /// is cancelled, past its deadline or out of I/O budget.
+    pub fn range_search_ctx(
         &self,
         center: Point,
         r: f64,
-        session: Option<&IoSession>,
-    ) -> Vec<(Point, ItemId, f64)> {
+        ctx: Option<&QueryContext>,
+    ) -> Result<Vec<(Point, ItemId, f64)>, Aborted> {
         let mut out = Vec::new();
-        self.range_into(center, 0.0, r, true, session, &mut out);
-        out
+        self.range_into(center, 0.0, r, true, ctx, &mut out)?;
+        Ok(out)
     }
 
     /// Annular range search: points `p` with `lo < dist(center, p) <= hi`.
@@ -42,20 +47,22 @@ impl RTree {
         lo: f64,
         hi: f64,
     ) -> Vec<(Point, ItemId, f64)> {
-        self.annular_range_search_session(center, lo, hi, None)
+        self.annular_range_search_ctx(center, lo, hi, None)
+            .expect("a context-free search cannot abort")
     }
 
-    /// [`RTree::annular_range_search`] charged to `session`.
-    pub fn annular_range_search_session(
+    /// [`RTree::annular_range_search`] charged to `ctx`, with the same
+    /// typed-abort contract as [`RTree::range_search_ctx`].
+    pub fn annular_range_search_ctx(
         &self,
         center: Point,
         lo: f64,
         hi: f64,
-        session: Option<&IoSession>,
-    ) -> Vec<(Point, ItemId, f64)> {
+        ctx: Option<&QueryContext>,
+    ) -> Result<Vec<(Point, ItemId, f64)>, Aborted> {
         let mut out = Vec::new();
-        self.range_into(center, lo, hi, false, session, &mut out);
-        out
+        self.range_into(center, lo, hi, false, ctx, &mut out)?;
+        Ok(out)
     }
 
     /// Shared recursion: collects points with `dist ∈ (lo, hi]`, or
@@ -66,11 +73,11 @@ impl RTree {
         lo: f64,
         hi: f64,
         include_lo: bool,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
         out: &mut Vec<(Point, ItemId, f64)>,
-    ) {
+    ) -> Result<(), Aborted> {
         if hi < 0.0 {
-            return;
+            return Ok(());
         }
         self.range_rec(
             self.root(),
@@ -79,9 +86,9 @@ impl RTree {
             lo,
             hi,
             include_lo,
-            session,
+            ctx,
             out,
-        );
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -93,11 +100,14 @@ impl RTree {
         lo: f64,
         hi: f64,
         include_lo: bool,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
         out: &mut Vec<(Point, ItemId, f64)>,
-    ) {
+    ) -> Result<(), Aborted> {
+        if let Some(ctx) = ctx {
+            ctx.check()?;
+        }
         if level_height == 1 {
-            self.store().with_page_session(page, session, |bytes| {
+            self.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
                     let d = center.dist(&p);
                     let above_lo = if include_lo { d >= lo } else { d > lo };
@@ -106,12 +116,12 @@ impl RTree {
                     }
                 });
             });
-            return;
+            return Ok(());
         }
         // Children that may contain qualifying points: the subtree MBR must
         // intersect the annulus — mindist <= hi and maxdist >= lo (a subtree
         // entirely inside the inner disk cannot contribute).
-        let children: Vec<PageId> = self.store().with_page_session(page, session, |bytes| {
+        let children: Vec<PageId> = self.store().with_page_ctx(page, ctx, |bytes| {
             let mut v = Vec::new();
             node::for_each_inner_entry(bytes, |mbr, child| {
                 if mbr.mindist(&center) <= hi && mbr.maxdist(&center) >= lo {
@@ -121,17 +131,9 @@ impl RTree {
             v
         });
         for c in children {
-            self.range_rec(
-                c,
-                level_height - 1,
-                center,
-                lo,
-                hi,
-                include_lo,
-                session,
-                out,
-            );
+            self.range_rec(c, level_height - 1, center, lo, hi, include_lo, ctx, out)?;
         }
+        Ok(())
     }
 }
 

@@ -1,7 +1,7 @@
 //! The paged R-tree.
 
 use cca_geo::Rect;
-use cca_storage::{IoSession, IoStats, PageId, PageStore};
+use cca_storage::{Aborted, IoStats, PageId, PageStore, QueryContext};
 
 use crate::entry::{InnerEntry, ItemId, LeafEntry};
 use crate::node::{self, Node};
@@ -140,16 +140,21 @@ impl RTree {
     /// Streams all points of the tree in depth-first order (test helper and
     /// CA-partition support). Charges the same I/O a real scan would.
     pub fn for_each_point(&self, mut f: impl FnMut(cca_geo::Point, ItemId)) {
-        self.for_each_point_under(self.root, self.height, None, &mut f);
+        self.for_each_point_under(self.root, self.height, None, &mut f)
+            .expect("a context-free scan cannot abort");
     }
 
-    /// [`RTree::for_each_point`] with the scan's I/O charged to `session`.
-    pub fn for_each_point_session(
+    /// [`RTree::for_each_point`] with the scan's I/O charged to `ctx`.
+    ///
+    /// The scan polls the context before every page visit and returns the
+    /// typed [`Aborted`] error on cancellation, deadline expiry or an
+    /// exhausted I/O budget instead of reading on.
+    pub fn for_each_point_ctx(
         &self,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
         mut f: impl FnMut(cca_geo::Point, ItemId),
-    ) {
-        self.for_each_point_under(self.root, self.height, session, &mut f);
+    ) -> Result<(), Aborted> {
+        self.for_each_point_under(self.root, self.height, ctx, &mut f)
     }
 
     /// Streams all points below the given node.
@@ -157,23 +162,27 @@ impl RTree {
         &self,
         page: PageId,
         level_height: u32,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
         f: &mut impl FnMut(cca_geo::Point, ItemId),
-    ) {
+    ) -> Result<(), Aborted> {
+        if let Some(ctx) = ctx {
+            ctx.check()?;
+        }
         if level_height == 1 {
-            self.store.with_page_session(page, session, |bytes| {
+            self.store.with_page_ctx(page, ctx, |bytes| {
                 node::for_each_leaf_entry(bytes, f);
             });
         } else {
-            let children: Vec<PageId> = self.store.with_page_session(page, session, |bytes| {
+            let children: Vec<PageId> = self.store.with_page_ctx(page, ctx, |bytes| {
                 let mut v = Vec::with_capacity(node::entry_count(bytes));
                 node::for_each_inner_entry(bytes, |_, c| v.push(c));
                 v
             });
             for c in children {
-                self.for_each_point_under(c, level_height - 1, session, f);
+                self.for_each_point_under(c, level_height - 1, ctx, f)?;
             }
         }
+        Ok(())
     }
 
     /// Checks structural invariants; used by tests after bulk load and

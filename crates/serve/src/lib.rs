@@ -1,0 +1,46 @@
+//! `cca-serve` — the priority-scheduled serving layer for CCA queries.
+//!
+//! The UYMM08 algorithms can burn unbounded I/O on adversarial inputs, so a
+//! serving path needs more than a work-stealing cursor: it needs *admission
+//! control* (a bounded backlog that sheds load explicitly), *priorities*
+//! (with aging, so low-priority work is deferred but never starved),
+//! *deadlines and I/O budgets* (enforced cooperatively through
+//! [`QueryContext`], which the storage layer charges at page-fault time)
+//! and *cancellation*. This crate provides that serving layer:
+//!
+//! * [`serve`] — runs a scoped worker pool; requests may borrow the shared
+//!   instance from the caller's stack (no `'static` bound),
+//! * [`ServeHandle::submit`] — admission: returns a [`Ticket`] or sheds
+//!   the request with [`Rejected::QueueFull`],
+//! * [`Ticket`] — await / poll / cancel one query,
+//! * [`queue::AgingQueue`] — the bounded multi-level priority queue with
+//!   the deterministic anti-starvation bound,
+//! * [`ServeConfig`] — workers, queue capacity, aging period.
+//!
+//! ```
+//! use cca_serve::{serve, Priority, QueryContext, Request, ServeConfig};
+//!
+//! let config = ServeConfig::default().workers(2).queue_capacity(8);
+//! let total: u64 = serve(config, |handle| {
+//!     let tickets: Vec<_> = (0..4u64)
+//!         .map(|i| {
+//!             let req = Request::new(move |_ctx: &QueryContext| i * 10)
+//!                 .priority(if i == 0 { Priority::High } else { Priority::Normal });
+//!             handle.submit(req).expect("queue has room")
+//!         })
+//!         .collect();
+//!     tickets.into_iter().map(|t| t.wait()).sum()
+//! });
+//! assert_eq!(total, 60);
+//! ```
+//!
+//! The façade crate's `BatchRunner` is a thin adapter over this scheduler,
+//! and `examples/serving.rs` shows the full submit / deadline / shed loop
+//! on a mixed workload.
+
+pub mod queue;
+pub mod scheduler;
+
+pub use cca_storage::{AbortReason, Aborted, IoStats, Priority, QueryContext};
+pub use queue::AgingQueue;
+pub use scheduler::{serve, Rejected, Request, ServeConfig, ServeHandle, Ticket};

@@ -1,0 +1,600 @@
+//! The worker-pool scheduler: scoped workers draining the [`AgingQueue`],
+//! tickets for callers, explicit load shedding at admission.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use cca_storage::{Priority, QueryContext};
+
+use crate::queue::AgingQueue;
+
+/// Scheduler tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Admission bound: queued (not yet running) requests beyond this are
+    /// shed with [`Rejected::QueueFull`]. This is semaphore-style admission
+    /// control — the capacity is the number of backlog permits.
+    pub queue_capacity: usize,
+    /// Pops between priority-aging rounds (`0` disables aging). With `L`
+    /// priority levels, a waiter reaches the top level after at most
+    /// `(L − 1) × aging_period` dispatches — the anti-starvation bound.
+    pub aging_period: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 1024,
+            aging_period: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity of at least one request");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the aging period (`0` disables anti-starvation promotion).
+    pub fn aging_period(mut self, period: u32) -> Self {
+        self.aging_period = period;
+        self
+    }
+}
+
+/// Why a submission was refused — the explicit load-shedding signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The backlog is at capacity; retry later or shed the query.
+    QueueFull {
+        /// The configured admission bound that was hit.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} queued requests)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+type Work<'env, T> = Box<dyn FnOnce(&QueryContext) -> T + Send + 'env>;
+
+/// One query submission: the work closure plus its [`QueryContext`]
+/// (priority, deadline, I/O budget, cancellation).
+pub struct Request<'env, T> {
+    ctx: QueryContext,
+    work: Work<'env, T>,
+}
+
+impl<'env, T> Request<'env, T> {
+    /// A request running `work` under a fresh default context.
+    pub fn new(work: impl FnOnce(&QueryContext) -> T + Send + 'env) -> Self {
+        Request {
+            ctx: QueryContext::new(),
+            work: Box::new(work),
+        }
+    }
+
+    /// Replaces the query context (deadline, budget, priority, …).
+    pub fn context(mut self, ctx: QueryContext) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Sets just the priority, keeping the rest of the context.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.ctx = self.ctx.with_priority(priority);
+        self
+    }
+}
+
+/// Completion state of one submitted query. Distinguishing `Taken` and
+/// `Panicked` from `Pending` keeps [`Ticket::wait`] from blocking forever
+/// on a slot that will never be (re)filled.
+enum Slot<T> {
+    /// Not finished yet.
+    Pending,
+    /// Finished; result not yet claimed.
+    Done(T),
+    /// Result already claimed by [`Ticket::try_take`].
+    Taken,
+    /// The query closure panicked; the payload is re-raised at the waiter.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Completion cell shared between a running job and its [`Ticket`].
+struct TicketCell<T> {
+    slot: Mutex<Slot<T>>,
+    done: Condvar,
+}
+
+impl<T> TicketCell<T> {
+    fn new() -> Self {
+        TicketCell {
+            slot: Mutex::new(Slot::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Slot<T>> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fill(&self, slot: Slot<T>) {
+        *self.lock() = slot;
+        self.done.notify_all();
+    }
+}
+
+/// The caller's handle on one submitted query: await the result, poll it,
+/// or cancel the query cooperatively.
+pub struct Ticket<T> {
+    cell: Arc<TicketCell<T>>,
+    ctx: QueryContext,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the query finishes and returns its result.
+    ///
+    /// # Panics
+    /// Re-raises the query closure's panic, if it panicked; panics if the
+    /// result was already claimed via [`Ticket::try_take`].
+    pub fn wait(self) -> T {
+        let mut slot = self.cell.lock();
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Pending) {
+                Slot::Done(result) => {
+                    *slot = Slot::Taken;
+                    return result;
+                }
+                Slot::Panicked(payload) => {
+                    *slot = Slot::Taken;
+                    drop(slot);
+                    std::panic::resume_unwind(payload);
+                }
+                Slot::Taken => panic!("ticket result already taken"),
+                Slot::Pending => {
+                    slot = self.cell.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Takes the result if the query already finished (`None` while it is
+    /// still pending or after the result was taken).
+    ///
+    /// # Panics
+    /// Re-raises the query closure's panic, if it panicked.
+    pub fn try_take(&self) -> Option<T> {
+        let mut slot = self.cell.lock();
+        match std::mem::replace(&mut *slot, Slot::Pending) {
+            Slot::Done(result) => {
+                *slot = Slot::Taken;
+                Some(result)
+            }
+            Slot::Panicked(payload) => {
+                *slot = Slot::Taken;
+                drop(slot);
+                std::panic::resume_unwind(payload);
+            }
+            Slot::Taken => {
+                *slot = Slot::Taken;
+                None
+            }
+            Slot::Pending => None,
+        }
+    }
+
+    /// True once the query finished (it stays true after the result is
+    /// taken).
+    pub fn is_done(&self) -> bool {
+        !matches!(*self.cell.lock(), Slot::Pending)
+    }
+
+    /// Requests cooperative cancellation of the query. A queued query runs
+    /// its closure, which observes the cancelled context immediately and
+    /// unwinds with a partial result; a running query aborts at its next
+    /// context poll. `wait` still returns that (partial) result.
+    pub fn cancel(&self) {
+        self.ctx.cancel();
+    }
+
+    /// The query's context (for inspecting attribution mid-flight).
+    pub fn context(&self) -> &QueryContext {
+        &self.ctx
+    }
+}
+
+struct Job<'env, T> {
+    ctx: QueryContext,
+    cell: Arc<TicketCell<T>>,
+    work: Work<'env, T>,
+}
+
+struct State<'env, T> {
+    queue: AgingQueue<Job<'env, T>>,
+    shutdown: bool,
+}
+
+struct Shared<'env, T> {
+    state: Mutex<State<'env, T>>,
+    work_ready: Condvar,
+}
+
+impl<'env, T> Shared<'env, T> {
+    fn lock(&self) -> MutexGuard<'_, State<'env, T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The submission front-end handed to the [`serve`] body.
+pub struct ServeHandle<'a, 'env, T: Send> {
+    shared: &'a Shared<'env, T>,
+}
+
+impl<'env, T: Send> ServeHandle<'_, 'env, T> {
+    /// Submits a request for scheduling. Returns the [`Ticket`] to await,
+    /// or sheds the request with [`Rejected::QueueFull`] when the backlog
+    /// is at capacity.
+    pub fn submit(&self, request: Request<'env, T>) -> Result<Ticket<T>, Rejected> {
+        let Request { ctx, work } = request;
+        let cell = Arc::new(TicketCell::new());
+        let job = Job {
+            ctx: ctx.clone(),
+            cell: Arc::clone(&cell),
+            work,
+        };
+        let priority = ctx.priority();
+        let mut state = self.shared.lock();
+        match state.queue.push(priority, job) {
+            Ok(()) => {
+                let capacity = state.queue.capacity();
+                debug_assert!(state.queue.len() <= capacity);
+                drop(state);
+                self.shared.work_ready.notify_one();
+                Ok(Ticket { cell, ctx })
+            }
+            Err(_) => {
+                let capacity = state.queue.capacity();
+                Err(Rejected::QueueFull { capacity })
+            }
+        }
+    }
+
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+}
+
+fn worker<T: Send>(shared: &Shared<'_, T>) {
+    let mut state = shared.lock();
+    loop {
+        if let Some(job) = state.queue.pop() {
+            drop(state);
+            // The closure polls the context itself (an expired deadline or
+            // cancelled queued job unwinds on its first poll). A panicking
+            // closure must still fill the cell — otherwise its waiter
+            // blocks forever — so the panic is caught here and re-raised
+            // at the ticket; the worker itself keeps serving.
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.work)(&job.ctx)));
+            match result {
+                Ok(value) => job.cell.fill(Slot::Done(value)),
+                Err(payload) => job.cell.fill(Slot::Panicked(payload)),
+            }
+            state = shared.lock();
+        } else if state.shutdown {
+            return;
+        } else {
+            state = shared
+                .work_ready
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Flips the shutdown flag and wakes every worker when dropped — on the
+/// body's normal return *and* on its unwind, so a panicking body can never
+/// leave workers parked forever under `thread::scope`'s implicit join.
+struct ShutdownGuard<'a, 'env, T> {
+    shared: &'a Shared<'env, T>,
+}
+
+impl<T> Drop for ShutdownGuard<'_, '_, T> {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work_ready.notify_all();
+    }
+}
+
+/// Runs a serving scope: spawns `config.workers` scoped worker threads,
+/// hands the submission [`ServeHandle`] to `body`, and when `body` returns
+/// shuts down — workers drain every admitted request (so all tickets
+/// resolve) and then exit.
+///
+/// The scope ties worker lifetimes to the caller's stack, so requests may
+/// borrow from the environment (`'env`) — e.g. a shared
+/// `SpatialAssignment` — without `Arc`s or `'static` bounds.
+pub fn serve<'env, T, Out>(
+    config: ServeConfig,
+    body: impl FnOnce(&ServeHandle<'_, 'env, T>) -> Out,
+) -> Out
+where
+    T: Send + 'env,
+{
+    assert!(config.workers >= 1, "at least one worker");
+    assert!(config.queue_capacity >= 1, "capacity of at least one");
+    let shared: Shared<'env, T> = Shared {
+        state: Mutex::new(State {
+            queue: AgingQueue::new(config.queue_capacity, config.aging_period),
+            shutdown: false,
+        }),
+        work_ready: Condvar::new(),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            scope.spawn(|| worker(&shared));
+        }
+        let _shutdown = ShutdownGuard { shared: &shared };
+        body(&ServeHandle { shared: &shared })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn submits_run_and_tickets_resolve() {
+        let outputs = serve(ServeConfig::default().workers(4), |handle| {
+            let tickets: Vec<_> = (0..32)
+                .map(|i| handle.submit(Request::new(move |_| i * 2)).unwrap())
+                .collect();
+            tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+        });
+        assert_eq!(outputs, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_full_sheds_explicitly() {
+        // One worker parked on a gate so the queue can be saturated
+        // deterministically.
+        let gate = Mutex::new(());
+        let guard = gate.lock().unwrap();
+        let config = ServeConfig::default()
+            .workers(1)
+            .queue_capacity(2)
+            .aging_period(0);
+        serve(config, |handle| {
+            let blocker = handle
+                .submit(Request::new(|_| {
+                    drop(gate.lock().unwrap_or_else(|e| e.into_inner()));
+                }))
+                .unwrap();
+            // Wait until the worker has dequeued the blocker.
+            while handle.queue_len() > 0 {
+                std::thread::yield_now();
+            }
+            let _a = handle.submit(Request::new(|_| ())).unwrap();
+            let _b = handle.submit(Request::new(|_| ())).unwrap();
+            let shed = handle.submit(Request::new(|_| ()));
+            assert!(matches!(shed, Err(Rejected::QueueFull { capacity: 2 })));
+            drop(guard); // release the worker; shutdown drains the rest
+            blocker.wait();
+        });
+    }
+
+    #[test]
+    fn higher_priority_overtakes_with_one_worker() {
+        let order = Mutex::new(Vec::new());
+        let gate = Mutex::new(());
+        let guard = gate.lock().unwrap();
+        let config = ServeConfig::default()
+            .workers(1)
+            .queue_capacity(16)
+            .aging_period(0);
+        serve(config, |handle| {
+            let blocker = handle
+                .submit(Request::new(|_| {
+                    drop(gate.lock().unwrap_or_else(|e| e.into_inner()));
+                }))
+                .unwrap();
+            while handle.queue_len() > 0 {
+                std::thread::yield_now();
+            }
+            let mut tickets = Vec::new();
+            for (name, priority) in [
+                ("low", Priority::Low),
+                ("normal", Priority::Normal),
+                ("critical", Priority::Critical),
+                ("high", Priority::High),
+            ] {
+                let order = &order;
+                tickets.push(
+                    handle
+                        .submit(
+                            Request::new(move |_| order.lock().unwrap().push(name))
+                                .priority(priority),
+                        )
+                        .unwrap(),
+                );
+            }
+            drop(guard);
+            blocker.wait();
+            for t in tickets {
+                t.wait();
+            }
+        });
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["critical", "high", "normal", "low"]
+        );
+    }
+
+    #[test]
+    fn panicking_request_resurfaces_at_wait_without_hanging() {
+        let result = std::panic::catch_unwind(|| {
+            serve(ServeConfig::default().workers(1), |handle| {
+                let bad = handle
+                    .submit(Request::new(|_| -> usize { panic!("solver bug") }))
+                    .unwrap();
+                // The worker survives the panic and keeps serving.
+                let good = handle.submit(Request::new(|_| 7usize)).unwrap();
+                assert_eq!(good.wait(), 7);
+                bad.wait() // re-raises "solver bug"
+            })
+        });
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"solver bug"));
+    }
+
+    #[test]
+    fn panicking_body_still_shuts_workers_down() {
+        // Without the shutdown drop-guard this hangs forever in
+        // thread::scope's implicit join instead of propagating the panic.
+        let result = std::panic::catch_unwind(|| {
+            serve::<(), ()>(ServeConfig::default().workers(2), |_handle| {
+                panic!("body bug")
+            })
+        });
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"body bug"));
+    }
+
+    #[test]
+    fn wait_after_try_take_panics_instead_of_blocking() {
+        let result = std::panic::catch_unwind(|| {
+            serve(ServeConfig::default().workers(1), |handle| {
+                let ticket = handle.submit(Request::new(|_| 42usize)).unwrap();
+                while !ticket.is_done() {
+                    std::thread::yield_now();
+                }
+                assert_eq!(ticket.try_take(), Some(42));
+                assert!(ticket.is_done(), "done stays true after taking");
+                assert_eq!(ticket.try_take(), None, "second poll sees it taken");
+                ticket.wait() // must fail fast, not block forever
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cancellation_reaches_the_running_closure() {
+        let polls = AtomicUsize::new(0);
+        let config = ServeConfig::default().workers(1);
+        let cancelled = serve(config, |handle| {
+            let ticket = handle
+                .submit(Request::new(|ctx: &QueryContext| {
+                    // Spin until the ticket cancels us.
+                    while ctx.abort_reason().is_none() {
+                        polls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    ctx.abort_reason()
+                }))
+                .unwrap();
+            while !ticket.is_done() && polls.load(Ordering::Relaxed) < 3 {
+                std::thread::yield_now();
+            }
+            ticket.cancel();
+            ticket.wait()
+        });
+        assert_eq!(cancelled, Some(cca_storage::AbortReason::Cancelled));
+    }
+
+    /// The satellite starvation bound, end to end: one worker, a saturated
+    /// stream of high-priority requests, and a single low-priority request
+    /// submitted first. With aging every `A` dispatches the low request
+    /// must be dispatched within `3A + 1` rounds of entering the queue.
+    #[test]
+    fn aged_low_priority_request_completes_within_bounded_rounds() {
+        const AGING: u32 = 4;
+        const HIGH_BACKLOG: usize = 8;
+        let dispatched = AtomicUsize::new(0);
+        let config = ServeConfig::default()
+            .workers(1)
+            .queue_capacity(64)
+            .aging_period(AGING);
+        let gate = Mutex::new(());
+        let guard = gate.lock().unwrap();
+        let low_round = serve(config, |handle| {
+            let blocker = handle
+                .submit(Request::new(|_| {
+                    drop(gate.lock().unwrap_or_else(|e| e.into_inner()));
+                    0usize
+                }))
+                .unwrap();
+            while handle.queue_len() > 0 {
+                std::thread::yield_now();
+            }
+            // Low enters first, then a standing high-priority backlog.
+            let dispatched = &dispatched;
+            let low = handle
+                .submit(
+                    Request::new(move |_| dispatched.fetch_add(1, Ordering::SeqCst) + 1)
+                        .priority(Priority::Low),
+                )
+                .unwrap();
+            let mut highs = Vec::new();
+            for _ in 0..HIGH_BACKLOG {
+                highs.push(
+                    handle
+                        .submit(
+                            Request::new(move |_| dispatched.fetch_add(1, Ordering::SeqCst) + 1)
+                                .priority(Priority::High),
+                        )
+                        .unwrap(),
+                );
+            }
+            drop(guard);
+            blocker.wait();
+            // Keep the queue saturated with fresh high-priority work until
+            // the low request completes.
+            loop {
+                if let Some(round) = low.try_take() {
+                    for h in highs {
+                        h.wait();
+                    }
+                    return round;
+                }
+                if let Ok(t) = handle.submit(
+                    Request::new(move |_| dispatched.fetch_add(1, Ordering::SeqCst) + 1)
+                        .priority(Priority::High),
+                ) {
+                    highs.push(t);
+                }
+                std::thread::yield_now();
+            }
+        });
+        let bound = (3 * AGING + 1) as usize;
+        assert!(
+            low_round <= bound,
+            "low-priority request dispatched in round {low_round}, bound {bound}"
+        );
+    }
+}

@@ -28,19 +28,26 @@ pub struct BufferPool {
     /// Allocated frames currently holding no page (detached by
     /// [`BufferPool::clear`]); popped in O(1) before growing or evicting.
     free: Vec<u32>,
+    /// Reusable read-through buffer for the zero-capacity mode.
+    scratch: Option<Box<[u8]>>,
     stats: IoStats,
 }
 
 impl BufferPool {
-    /// Creates a pool holding at most `capacity` pages (minimum 1).
+    /// Creates a pool holding at most `capacity` pages.
+    ///
+    /// A capacity of `0` is a *read-through* pool: every read faults into a
+    /// scratch buffer and nothing is retained. The sharded store uses this
+    /// for shards whose stripe earned no frame under a tiny total budget,
+    /// keeping the store-wide capacity exactly as requested.
     pub fn new(capacity: usize) -> Self {
-        let capacity = capacity.max(1);
         BufferPool {
             capacity,
             frames: Vec::new(),
             page_table: Vec::new(),
             lru: LruList::new(capacity),
             free: Vec::new(),
+            scratch: None,
             stats: IoStats::default(),
         }
     }
@@ -140,6 +147,18 @@ impl BufferPool {
             return f(&self.frames[slot].data);
         }
         self.stats.faults += 1;
+        if self.capacity == 0 {
+            // Read-through: serve the fault from the scratch buffer without
+            // caching anything.
+            let mut scratch = self
+                .scratch
+                .take()
+                .unwrap_or_else(|| vec![0u8; disk.page_size()].into_boxed_slice());
+            disk.read_page(id, &mut scratch);
+            let result = f(&scratch);
+            self.scratch = Some(scratch);
+            return result;
+        }
         let slot = self.acquire_slot(disk);
         // Physical read into the frame. The frame buffer has the right size
         // by construction.
@@ -157,6 +176,12 @@ impl BufferPool {
     pub fn write_page(&mut self, disk: &mut DiskManager, id: PageId, data: &[u8]) {
         assert_eq!(data.len(), disk.page_size(), "buffer/page size mismatch");
         self.ensure_page_table(id);
+        if self.capacity == 0 {
+            // Write-through: no frame to hold the dirty page.
+            disk.write_page(id, data);
+            self.stats.writes += 1;
+            return;
+        }
         let slot = match self.lookup(id) {
             Some(slot) => slot,
             None => {
@@ -205,7 +230,6 @@ impl BufferPool {
     /// and compacts the surviving frames into the low slots so no frame
     /// allocation outlives the new capacity.
     pub fn set_capacity(&mut self, disk: &mut DiskManager, capacity: usize) {
-        let capacity = capacity.max(1);
         while self.lru.len() > capacity {
             let victim = self.lru.pop_lru().expect("len > 0");
             self.evict_slot(victim, disk);
@@ -407,6 +431,42 @@ mod tests {
         }
         assert_eq!(pool.stats().faults as usize, ids.len());
         assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn zero_capacity_pool_reads_through() {
+        let (mut disk, mut pool, ids) = setup(0, 3, 8);
+        assert_eq!(pool.capacity(), 0);
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page(&mut disk, id, |d| assert_eq!(d[0], i as u8));
+        }
+        // Nothing is retained: every access faults, nothing is cached.
+        pool.with_page(&mut disk, ids[0], |_| ());
+        let s = pool.stats();
+        assert_eq!(s.faults, 4);
+        assert_eq!(s.hits, 0);
+        assert_eq!(pool.cached_pages(), 0);
+        // Writes go straight to disk and survive the round trip.
+        pool.write_page(&mut disk, ids[1], &[9u8; 8]);
+        assert_eq!(disk.physical_writes(), 1);
+        pool.with_page(&mut disk, ids[1], |d| assert_eq!(d, &[9u8; 8]));
+        pool.flush_all(&mut disk); // no dirty frames to flush
+        assert_eq!(disk.physical_writes(), 1);
+    }
+
+    #[test]
+    fn shrink_to_zero_then_grow_again() {
+        let (mut disk, mut pool, ids) = setup(2, 2, 8);
+        pool.write_page(&mut disk, ids[0], &[5u8; 8]);
+        pool.set_capacity(&mut disk, 0);
+        assert_eq!(disk.physical_writes(), 1, "dirty page written back");
+        assert_eq!(pool.cached_pages(), 0);
+        pool.with_page(&mut disk, ids[0], |d| assert_eq!(d, &[5u8; 8]));
+        pool.set_capacity(&mut disk, 2);
+        pool.reset_stats();
+        pool.with_page(&mut disk, ids[0], |_| ());
+        pool.with_page(&mut disk, ids[0], |_| ());
+        assert_eq!(pool.stats().hits, 1, "caching resumes after regrow");
     }
 
     #[test]

@@ -13,15 +13,19 @@
 //! * [`stats::IoStats`] — fault counters plus the paper's charged I/O time,
 //! * [`stats::IoSession`] — a per-query attribution handle charged alongside
 //!   the global counters, so concurrent queries each see their own traffic,
+//! * [`context::QueryContext`] — the per-query control block (session +
+//!   priority + deadline + I/O budget + cancellation) threaded through every
+//!   page access; budgets trip at page-fault time,
 //! * [`store::PageStore`] — the facade striping pages over N independent
 //!   shards (own frames, LRU and lock each; counters are per-shard atomics
-//!   aggregated on read), shared across the batch runner's worker threads.
+//!   aggregated on read), shared across the serving layer's worker threads.
 //!
 //! The disk is in-memory (documented substitution in DESIGN.md §5): the
 //! paper itself *charges* I/O time per fault rather than measuring a device,
 //! so fault counting through a real LRU is exactly the fidelity required.
 
 pub mod buffer;
+pub mod context;
 pub mod disk;
 pub mod lru;
 mod shard;
@@ -29,6 +33,7 @@ pub mod stats;
 pub mod store;
 
 pub use buffer::BufferPool;
+pub use context::{AbortReason, Aborted, Priority, QueryContext};
 pub use disk::{DiskManager, PageId};
 pub use stats::{IoSession, IoStats};
 pub use store::{default_shards, PageStore};

@@ -11,6 +11,7 @@
 use std::sync::{Mutex, MutexGuard};
 
 use crate::buffer::BufferPool;
+use crate::context::QueryContext;
 use crate::disk::{DiskManager, PageId};
 use crate::stats::{IoSession, IoStats};
 
@@ -63,14 +64,15 @@ impl Shard {
     }
 
     /// Runs `op` under the shard lock and charges the pool-stat delta to
-    /// the shard counters and, when given, to `session`.
+    /// the shard counters and, when given, to `ctx` — whose charge also
+    /// performs the per-query I/O-budget check at fault time.
     ///
     /// The charge happens *before* the lock is released so it cannot race
     /// [`Shard::reset_stats`] (a post-unlock charge could resurrect
     /// pre-reset traffic into freshly zeroed counters).
     pub(crate) fn with_inner<R>(
         &self,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
         op: impl FnOnce(&mut ShardInner) -> R,
     ) -> R {
         let mut guard = self.lock();
@@ -79,8 +81,8 @@ impl Shard {
         let delta = guard.pool.stats().since(&before);
         if delta != IoStats::default() {
             self.stats.charge(delta);
-            if let Some(session) = session {
-                session.charge(delta);
+            if let Some(ctx) = ctx {
+                ctx.charge(delta);
             }
         }
         drop(guard);
@@ -166,10 +168,10 @@ mod tests {
     }
 
     #[test]
-    fn shard_charges_atomics_and_session() {
+    fn shard_charges_atomics_and_context() {
         let shard = Shard::new(16, 2);
-        let session = IoSession::new();
-        shard.with_inner(Some(&session), |inner| {
+        let ctx = QueryContext::new();
+        shard.with_inner(Some(&ctx), |inner| {
             let id = inner.disk.alloc_page();
             inner.pool.with_page(&mut inner.disk, id, |_| ());
             inner.pool.with_page(&mut inner.disk, id, |_| ());
@@ -180,7 +182,7 @@ mod tests {
             writes: 0,
         };
         assert_eq!(shard.stats(), want);
-        assert_eq!(session.stats(), want);
+        assert_eq!(ctx.stats(), want);
         shard.reset_stats();
         assert_eq!(shard.stats(), IoStats::default());
     }

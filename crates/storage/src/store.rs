@@ -5,8 +5,9 @@
 //! queries over a shared tree fault pages independently instead of
 //! serialising on one global mutex. Counters are per-shard atomics
 //! aggregated on read, and every access can additionally be charged to a
-//! per-query [`IoSession`], which is what restores per-query I/O
-//! attribution in parallel batches.
+//! per-query [`QueryContext`], which is what restores per-query I/O
+//! attribution in parallel batches — and what trips per-query I/O budgets
+//! at page-fault time.
 //!
 //! With `shards = 1` the store behaves exactly like the previous
 //! single-`Mutex` design (one global LRU) — the equivalence proptest in
@@ -14,9 +15,10 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use crate::context::QueryContext;
 use crate::disk::PageId;
 use crate::shard::{Shard, ShardRouter};
-use crate::stats::{IoSession, IoStats};
+use crate::stats::IoStats;
 use crate::DEFAULT_PAGE_SIZE;
 
 /// Sharded paged storage with per-shard LRU buffers, usable through shared
@@ -114,20 +116,22 @@ impl PageStore {
     /// store (same-shard re-entry deadlocks; cross-shard re-entry risks
     /// lock-order inversion against concurrent callers).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
-        self.with_page_session(id, None, f)
+        self.with_page_ctx(id, None, f)
     }
 
     /// Like [`PageStore::with_page`], additionally charging the access to
-    /// `session` — the per-query attribution path.
-    pub fn with_page_session<R>(
+    /// `ctx` — the per-query attribution path. Charging a fault to a
+    /// context with an I/O budget performs the budget check right here, so
+    /// a context-aware traversal observes the abort before its next access.
+    pub fn with_page_ctx<R>(
         &self,
         id: PageId,
-        session: Option<&IoSession>,
+        ctx: Option<&QueryContext>,
         f: impl FnOnce(&[u8]) -> R,
     ) -> R {
         self.check_allocated(id);
         let local = self.router.local_id(id);
-        self.shards[self.router.shard_of(id)].with_inner(session, |inner| {
+        self.shards[self.router.shard_of(id)].with_inner(ctx, |inner| {
             inner.ensure_local_page(local);
             inner.pool.with_page(&mut inner.disk, local, f)
         })
@@ -135,15 +139,15 @@ impl PageStore {
 
     /// Writes a full page through its shard's buffer pool (write-back).
     pub fn write_page(&self, id: PageId, data: &[u8]) {
-        self.write_page_session(id, None, data)
+        self.write_page_ctx(id, None, data)
     }
 
     /// Like [`PageStore::write_page`], charging eviction write-backs to
-    /// `session`.
-    pub fn write_page_session(&self, id: PageId, session: Option<&IoSession>, data: &[u8]) {
+    /// `ctx`.
+    pub fn write_page_ctx(&self, id: PageId, ctx: Option<&QueryContext>, data: &[u8]) {
         self.check_allocated(id);
         let local = self.router.local_id(id);
-        self.shards[self.router.shard_of(id)].with_inner(session, |inner| {
+        self.shards[self.router.shard_of(id)].with_inner(ctx, |inner| {
             inner.ensure_local_page(local);
             inner.pool.write_page(&mut inner.disk, local, data);
         });
@@ -173,22 +177,37 @@ impl PageStore {
     }
 
     /// Re-sizes the total buffer capacity; used to apply the paper's "1 %
-    /// of the tree size" rule once the tree has been built. Each shard gets
-    /// an even split, floored at one page, so the effective total is
-    /// `max(pages, num_shards())` — on a store with many shards a very
-    /// small request is inflated by the floor ([`PageStore::buffer_capacity`]
-    /// always reports the real total; build with `shards = 1` for strictly
-    /// paper-faithful buffer sizing).
+    /// of the tree size" rule once the tree has been built.
+    ///
+    /// The split is *size-aware*: each shard receives capacity proportional
+    /// to the number of allocated pages striped to it (largest-remainder
+    /// rounding), so the effective total always equals `pages` exactly —
+    /// even below one page per shard, where a shard can end up with zero
+    /// frames and serves its stripe read-through. This closes the old
+    /// truncate-and-floor gap that inflated tiny paper-style buffers on
+    /// many-shard stores.
     pub fn set_buffer_capacity(&self, pages: usize) {
+        let sizes: Vec<usize> = (0..self.num_shards())
+            .map(|i| self.stripe_size(i))
+            .collect();
         for (shard, cap) in self
             .shards
             .iter()
-            .zip(split_capacity(pages, self.num_shards()))
+            .zip(split_capacity_size_aware(pages, &sizes))
         {
             shard.with_inner(None, move |inner| {
                 inner.pool.set_capacity(&mut inner.disk, cap)
             });
         }
+    }
+
+    /// Number of allocated pages striped to `shard` (ids stripe
+    /// round-robin, so the first `num_pages % num_shards` shards hold one
+    /// page more).
+    fn stripe_size(&self, shard: usize) -> usize {
+        let n = self.num_pages();
+        let s = self.num_shards();
+        (n + s - 1 - shard) / s
     }
 
     /// Current total buffer capacity in pages (sum over shards).
@@ -217,13 +236,47 @@ impl PageStore {
 }
 
 /// Splits `total` buffer pages over `shards` shards: an even split with the
-/// remainder spread over the first shards, and at least one page each.
+/// remainder spread over the first shards, and at least one page each. Used
+/// at construction time, when no pages exist to weight the split by (the
+/// shard count is clamped so the floor cannot inflate the total).
 fn split_capacity(total: usize, shards: usize) -> Vec<usize> {
     let base = total / shards;
     let rem = total % shards;
     (0..shards)
         .map(|i| (base + usize::from(i < rem)).max(1))
         .collect()
+}
+
+/// Splits `total` buffer pages proportionally to per-shard resident page
+/// counts (`sizes`), using largest-remainder rounding. The returned
+/// capacities sum to exactly `total`; shards holding no pages get no
+/// frames. With all sizes equal this degrades to the even split (without
+/// the one-page floor).
+fn split_capacity_size_aware(total: usize, sizes: &[usize]) -> Vec<usize> {
+    let shards = sizes.len();
+    let weight: usize = sizes.iter().sum();
+    if weight == 0 {
+        // No pages allocated yet: plain even split, first shards take the
+        // remainder.
+        let base = total / shards;
+        let rem = total % shards;
+        return (0..shards).map(|i| base + usize::from(i < rem)).collect();
+    }
+    let mut caps: Vec<usize> = Vec::with_capacity(shards);
+    let mut order: Vec<(usize, usize, usize)> = Vec::with_capacity(shards); // (rem, size, idx)
+    for (i, &size) in sizes.iter().enumerate() {
+        let ideal = total * size;
+        caps.push(ideal / weight);
+        order.push((ideal % weight, size, i));
+    }
+    let assigned: usize = caps.iter().sum();
+    // Hand the leftover pages to the largest fractional remainders,
+    // breaking ties toward larger stripes then lower indices.
+    order.sort_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)).then(a.2.cmp(&b.2)));
+    for &(_, _, i) in order.iter().take(total - assigned) {
+        caps[i] += 1;
+    }
+    caps
 }
 
 /// The largest power of two at or below `n` (`n >= 1`).
@@ -292,14 +345,64 @@ mod tests {
     }
 
     #[test]
-    fn capacity_splits_across_shards_with_floor() {
+    fn capacity_splits_across_shards_exactly() {
         let store = PageStore::with_config_sharded(32, 10, 4);
         assert_eq!(store.num_shards(), 4);
         // 10 over 4 shards: 3+3+2+2.
         assert_eq!(store.buffer_capacity(), 10);
+        // Sub-shard totals are honoured exactly: the size-aware split hands
+        // out 0-frame (read-through) shards instead of flooring at one.
         store.set_buffer_capacity(2);
-        // Floor of one page per shard.
-        assert_eq!(store.buffer_capacity(), 4);
+        assert_eq!(store.buffer_capacity(), 2);
+        store.set_buffer_capacity(7);
+        assert_eq!(store.buffer_capacity(), 7);
+    }
+
+    /// The ROADMAP regression: at ≤ 2 pages of capacity per shard the old
+    /// truncate-then-floor split inflated the requested total; the
+    /// size-aware split keeps it exact and weighted by stripe population.
+    #[test]
+    fn tiny_buffer_split_is_size_aware() {
+        let store = PageStore::with_config_sharded(32, 64, 4);
+        // 10 pages stripe as 3,3,2,2 over the 4 shards.
+        let pages: Vec<_> = (0..10).map(|_| store.alloc_page()).collect();
+        for &p in &pages {
+            store.write_page(p, &[7u8; 32]);
+        }
+        store.flush();
+        for cap in 1..=8 {
+            store.set_buffer_capacity(cap);
+            assert_eq!(store.buffer_capacity(), cap, "requested {cap}");
+        }
+        // ≤ 2 pages/shard: every page stays readable through the 0-frame
+        // (read-through) shards and fault accounting still works.
+        store.set_buffer_capacity(2);
+        store.clear_cache();
+        store.reset_stats();
+        for &p in &pages {
+            store.with_page(p, |d| assert_eq!(d[0], 7));
+        }
+        assert_eq!(store.io_stats().faults, 10, "cold pass faults every page");
+        assert!(store.cached_pages() <= 2);
+
+        // Proportionality: with capacity 5 over stripes 3,3,2,2 the two
+        // 3-page shards take the remainder before the 2-page shards.
+        assert_eq!(
+            split_capacity_size_aware(5, &[3, 3, 2, 2]),
+            vec![2, 1, 1, 1]
+        );
+        assert_eq!(
+            split_capacity_size_aware(2, &[2, 2, 2, 2]),
+            vec![1, 1, 0, 0]
+        );
+        assert_eq!(
+            split_capacity_size_aware(3, &[0, 4, 0, 2]),
+            vec![0, 2, 0, 1]
+        );
+        assert_eq!(
+            split_capacity_size_aware(4, &[0, 0, 0, 0]),
+            vec![1, 1, 1, 1]
+        );
     }
 
     #[test]
@@ -319,7 +422,7 @@ mod tests {
     }
 
     #[test]
-    fn sessions_attribute_traffic_per_caller() {
+    fn contexts_attribute_traffic_per_caller() {
         let store = PageStore::with_config_sharded(32, 8, 4);
         let pages: Vec<_> = (0..8).map(|_| store.alloc_page()).collect();
         for (i, &p) in pages.iter().enumerate() {
@@ -328,16 +431,40 @@ mod tests {
         store.flush();
         store.clear_cache();
         store.reset_stats();
-        let a = IoSession::new();
-        let b = IoSession::new();
-        store.with_page_session(pages[0], Some(&a), |_| ());
-        store.with_page_session(pages[0], Some(&a), |_| ());
-        store.with_page_session(pages[1], Some(&b), |_| ());
+        let a = QueryContext::new();
+        let b = QueryContext::new();
+        store.with_page_ctx(pages[0], Some(&a), |_| ());
+        store.with_page_ctx(pages[0], Some(&a), |_| ());
+        store.with_page_ctx(pages[1], Some(&b), |_| ());
         assert_eq!(a.stats().faults, 1);
         assert_eq!(a.stats().hits, 1);
         assert_eq!(b.stats().faults, 1);
         let global = store.io_stats();
         assert_eq!(global, a.stats() + b.stats());
+    }
+
+    #[test]
+    fn context_budget_trips_at_fault_time_in_store() {
+        for shards in [1, 4] {
+            let store = PageStore::with_config_sharded(32, 8, shards);
+            let pages: Vec<_> = (0..8).map(|_| store.alloc_page()).collect();
+            for &p in &pages {
+                store.write_page(p, &[1u8; 32]);
+            }
+            store.flush();
+            store.clear_cache();
+            store.reset_stats();
+            let ctx = QueryContext::new().with_io_budget(3);
+            for &p in &pages[..3] {
+                store.with_page_ctx(p, Some(&ctx), |_| ());
+            }
+            assert_eq!(
+                ctx.abort_reason(),
+                Some(crate::AbortReason::IoBudgetExceeded),
+                "shards = {shards}"
+            );
+            assert_eq!(ctx.stats().faults, 3);
+        }
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //!    hit/fault/evict sequence, pinned against a reference model built from
 //!    the raw [`BufferPool`] + [`DiskManager`] pair (which *is* the old
 //!    store minus the lock).
-//! 2. Per-query [`IoSession`]s partition the store's traffic exactly:
+//! 2. Per-query [`QueryContext`]s partition the store's traffic exactly:
 //!    under concurrency, disjoint sessions sum to the global aggregate.
 
-use cca_storage::{BufferPool, DiskManager, IoSession, IoStats, PageId, PageStore};
+use cca_storage::{BufferPool, DiskManager, IoStats, PageId, PageStore, QueryContext};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -135,7 +135,7 @@ fn concurrent_sessions_sum_to_global_aggregate() {
     store.clear_cache();
     store.reset_stats();
 
-    let sessions: Vec<IoSession> = (0..THREADS).map(|_| IoSession::new()).collect();
+    let sessions: Vec<QueryContext> = (0..THREADS).map(|_| QueryContext::new()).collect();
     std::thread::scope(|scope| {
         for (t, session) in sessions.iter().enumerate() {
             let store = &store;
@@ -145,7 +145,7 @@ fn concurrent_sessions_sum_to_global_aggregate() {
                 // shard-local hits, cross-thread sharing and evictions.
                 for round in 0..ROUNDS {
                     let idx = (t * 7 + round * 3) % ids.len();
-                    store.with_page_session(ids[idx], Some(session), |d| {
+                    store.with_page_ctx(ids[idx], Some(session), |d| {
                         assert_eq!(d[0] as usize, idx);
                     });
                 }

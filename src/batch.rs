@@ -1,28 +1,34 @@
 //! [`BatchRunner`] — many independent CCA queries over one shared,
 //! immutable R-tree, executed across threads.
 //!
-//! This is the first concrete step toward the serving scenario the roadmap
-//! targets: one loaded instance answering a stream of assignment queries.
-//! Workers pull query configs from an atomic cursor, build their solver
-//! from a [`SolverRegistry`], and solve against the shared tree; the paged
-//! store is thread-safe, so the buffer pool behaves like a DBMS buffer
-//! cache shared by concurrent queries.
+//! Since PR 4 the runner is a thin adapter over the [`cca_serve`]
+//! scheduler: queries are submitted as serving requests (each under its own
+//! [`QueryContext`]) into the bounded priority queue and executed by the
+//! scoped worker pool. The public API is unchanged from the original
+//! work-stealing runner — a batch admits every query (the queue is sized to
+//! the batch, so nothing is shed) and blocks until all tickets resolve —
+//! but the runner now inherits the serving semantics: per-query deadlines
+//! and I/O budgets ([`BatchRunner::query_deadline`],
+//! [`BatchRunner::query_io_budget`]) that turn runaway queries into
+//! [`QueryResult::aborted`] partial results, and a batch-wide scheduling
+//! priority ([`BatchRunner::priority`]).
 //!
 //! Matchings are bit-identical between parallel and sequential execution —
 //! the algorithms never read buffer-pool state, only charge it — which
 //! [`BatchRunner::run_sequential`] exists to demonstrate (and tests
-//! enforce). Every query runs under its own [`IoSession`], so per-query
+//! enforce). Every query runs under its own [`QueryContext`], so per-query
 //! [`AlgoStats::io`] reports exactly the pages that query touched even
 //! while workers share the sharded buffer pool; the per-query fault counts
-//! sum to the batch-aggregate delta on [`BatchReport::io`].
+//! sum to the batch-aggregate delta on [`BatchReport::io`] — aborted
+//! queries included, since a context is charged for precisely the faults it
+//! caused before stopping.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cca_core::solver::{Solver, SolverConfig, SolverRegistry, UnknownSolver};
 use cca_core::{AlgoStats, Matching};
-use cca_storage::{IoSession, IoStats};
+use cca_serve::{serve, Request, ServeConfig, Ticket};
+use cca_storage::{AbortReason, IoStats, Priority, QueryContext};
 
 use crate::SpatialAssignment;
 
@@ -31,6 +37,9 @@ pub struct BatchRunner<'a> {
     instance: &'a SpatialAssignment,
     registry: SolverRegistry,
     threads: usize,
+    priority: Priority,
+    deadline: Option<Duration>,
+    io_budget: Option<u64>,
 }
 
 impl<'a> BatchRunner<'a> {
@@ -44,6 +53,9 @@ impl<'a> BatchRunner<'a> {
             instance,
             registry: SolverRegistry::with_defaults(),
             threads,
+            priority: Priority::Normal,
+            deadline: None,
+            io_budget: None,
         }
     }
 
@@ -60,6 +72,30 @@ impl<'a> BatchRunner<'a> {
         self
     }
 
+    /// Sets the scheduling priority the batch's queries are submitted at
+    /// (relevant when several batches share one instance's serving layer).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Gives every query of the batch a deadline of `timeout` from its
+    /// submission (queue wait included). Queries past the deadline abort
+    /// cooperatively and come back as partial results with
+    /// [`QueryResult::aborted`] set.
+    pub fn query_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
+        self
+    }
+
+    /// Caps every query of the batch at `faults` page faults. A query that
+    /// exhausts its budget aborts with [`AbortReason::IoBudgetExceeded`]
+    /// and its partial `stats.io.faults` equals the budget exactly.
+    pub fn query_io_budget(mut self, faults: u64) -> Self {
+        self.io_budget = Some(faults);
+        self
+    }
+
     /// Runs `queries` across the configured worker threads.
     ///
     /// Fails up front (before touching the instance) if any query names an
@@ -68,10 +104,22 @@ impl<'a> BatchRunner<'a> {
         self.execute(queries, self.threads)
     }
 
-    /// Runs `queries` one after another on the calling thread — the
-    /// reference semantics `run` must reproduce result-wise.
+    /// Runs `queries` one after another on a single worker — the reference
+    /// semantics `run` must reproduce result-wise.
     pub fn run_sequential(&self, queries: &[SolverConfig]) -> Result<BatchReport, UnknownSolver> {
         self.execute(queries, 1)
+    }
+
+    /// The per-query context a batch query is submitted under.
+    fn query_context(&self) -> QueryContext {
+        let mut ctx = QueryContext::new().with_priority(self.priority);
+        if let Some(faults) = self.io_budget {
+            ctx = ctx.with_io_budget(faults);
+        }
+        if let Some(timeout) = self.deadline {
+            ctx = ctx.with_timeout(timeout);
+        }
+        ctx
     }
 
     fn execute(
@@ -93,38 +141,28 @@ impl<'a> BatchRunner<'a> {
         let start = Instant::now();
 
         let workers = threads.min(queries.len()).max(1);
-        let results: Vec<QueryResult> = if workers == 1 {
-            // Sequential batches run right here on the calling thread.
-            queries
+        // The queue admits the whole batch, so nothing is shed and every
+        // ticket resolves; streaming front-ends that want load shedding use
+        // `cca_serve::serve` directly with a smaller capacity.
+        let config = ServeConfig::default()
+            .workers(workers)
+            .queue_capacity(queries.len().max(1));
+        let results: Vec<QueryResult> = serve(config, |handle| {
+            let tickets: Vec<Ticket<QueryResult>> = queries
                 .iter()
                 .enumerate()
-                .map(|(i, q)| self.run_one(i, q, &*solvers[i]))
-                .collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<QueryResult>>> =
-                queries.iter().map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= queries.len() {
-                            break;
-                        }
-                        let result = self.run_one(i, &queries[i], &*solvers[i]);
-                        *slots[i].lock().unwrap() = Some(result);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .expect("every query index was claimed by a worker")
+                .map(|(i, query)| {
+                    let solver = &*solvers[i];
+                    let request =
+                        Request::new(move |ctx: &QueryContext| self.run_one(i, query, solver, ctx))
+                            .context(self.query_context());
+                    handle
+                        .submit(request)
+                        .expect("batch queue is sized to the batch")
                 })
-                .collect()
-        };
+                .collect();
+            tickets.into_iter().map(Ticket::wait).collect()
+        });
         Ok(BatchReport {
             results,
             io: store.io_stats().since(&io_before),
@@ -132,19 +170,28 @@ impl<'a> BatchRunner<'a> {
         })
     }
 
-    fn run_one(&self, index: usize, config: &SolverConfig, solver: &dyn Solver) -> QueryResult {
-        // A fresh session per query: the store charges it alongside its
-        // shard counters, so `stats.io` is this query's own traffic even
-        // with other workers hammering the same pool.
-        let session = IoSession::new();
-        let problem = self.instance.problem().with_session(&session);
-        let (matching, stats) = solver.run(&problem);
+    fn run_one(
+        &self,
+        index: usize,
+        config: &SolverConfig,
+        solver: &dyn Solver,
+        ctx: &QueryContext,
+    ) -> QueryResult {
+        // The scheduler hands each query its own context: the store charges
+        // it alongside its shard counters, so `stats.io` is this query's
+        // own traffic even with other workers hammering the same pool — and
+        // the context's deadline/budget/cancellation govern the run.
+        let problem = self.instance.problem().with_context(ctx);
+        let outcome = solver.run(&problem);
+        let aborted = outcome.abort_reason();
+        let (matching, stats) = outcome.into_parts();
         QueryResult {
             index,
             label: solver.label(),
             config: config.clone(),
             matching,
             stats,
+            aborted,
         }
     }
 }
@@ -160,8 +207,12 @@ pub struct QueryResult {
     pub config: SolverConfig,
     pub matching: Matching,
     /// Algorithm counters, CPU time, and this query's own buffer-pool
-    /// traffic (attributed through its [`IoSession`]).
+    /// traffic (attributed through its [`QueryContext`]).
     pub stats: AlgoStats,
+    /// Why the query aborted (deadline / I/O budget / cancellation), or
+    /// `None` when it ran to completion. Aborted queries carry their
+    /// partial matching and exact partial I/O attribution.
+    pub aborted: Option<AbortReason>,
 }
 
 /// The outcome of one batch: per-query results (in submission order) plus
@@ -183,6 +234,11 @@ impl BatchReport {
     /// Sum of per-query CPU time (exceeds `wall` when workers overlap).
     pub fn total_cpu(&self) -> Duration {
         self.results.iter().map(|r| r.stats.cpu_time).sum()
+    }
+
+    /// Number of queries that aborted (deadline / budget / cancellation).
+    pub fn num_aborted(&self) -> usize {
+        self.results.iter().filter(|r| r.aborted.is_some()).count()
     }
 
     /// Aggregate algorithm counters across the batch, with the batch-level

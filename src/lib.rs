@@ -30,30 +30,38 @@
 //! ```
 //!
 //! Many independent queries against one instance go through the parallel
-//! [`BatchRunner`]. The legacy [`Algorithm`] enum is kept as a thin
-//! back-compat wrapper that maps onto [`SolverConfig`]s.
+//! [`BatchRunner`] — since PR 4 a thin adapter over the [`serve`] crate's
+//! priority-scheduled worker pool. Individual runs accept a
+//! [`QueryContext`] ([`SpatialAssignment::run_solver_ctx`]) carrying a
+//! deadline, I/O budget and cancellation flag; an aborted run returns its
+//! partial matching with exact partial I/O attribution. The legacy
+//! [`Algorithm`] enum is kept as a thin back-compat wrapper that maps onto
+//! [`SolverConfig`]s.
 //!
 //! Sub-crates (re-exported below): [`geo`] geometry, [`storage`] the paged
 //! disk + LRU buffer, [`rtree`] the spatial index, [`flow`] the min-cost-flow
-//! substrate, [`core`] the CCA algorithms and solver pipeline, [`datagen`]
-//! the workload generator reproducing the paper's data protocol.
+//! substrate, [`core`] the CCA algorithms and solver pipeline, [`serve`] the
+//! admission-controlled serving layer, [`datagen`] the workload generator
+//! reproducing the paper's data protocol.
 
 pub use cca_core as core;
 pub use cca_datagen as datagen;
 pub use cca_flow as flow;
 pub use cca_geo as geo;
 pub use cca_rtree as rtree;
+pub use cca_serve as serve;
 pub use cca_storage as storage;
 
 mod batch;
 
 pub use batch::{BatchReport, BatchRunner, QueryResult};
-pub use cca_core::solver::{Problem, Solver, SolverConfig, SolverRegistry, UnknownSolver};
+pub use cca_core::solver::{Outcome, Problem, Solver, SolverConfig, SolverRegistry, UnknownSolver};
+pub use cca_storage::{AbortReason, Priority, QueryContext};
 
 use cca_core::{AlgoStats, Matching, RefineMethod};
 use cca_geo::Point;
 use cca_rtree::RTree;
-use cca_storage::{IoSession, PageStore};
+use cca_storage::PageStore;
 
 /// Legacy algorithm selector, kept as a back-compat wrapper over
 /// [`SolverConfig`] — see [`Algorithm::to_config`]. New code should build
@@ -112,6 +120,10 @@ impl Algorithm {
 pub struct RunResult<'a> {
     pub matching: Matching,
     pub stats: AlgoStats,
+    /// Why the run aborted (deadline / I/O budget / cancellation through
+    /// its [`QueryContext`]), or `None` when it completed. Aborted runs
+    /// carry the partial matching and exact partial I/O attribution.
+    pub aborted: Option<AbortReason>,
     instance: &'a SpatialAssignment,
 }
 
@@ -227,20 +239,43 @@ impl SpatialAssignment {
     /// Runs `solver` from a cold buffer cache and returns the matching with
     /// CPU and charged-I/O statistics.
     ///
-    /// The run is given its own [`IoSession`], so `stats.io` is the
+    /// The run is given its own [`QueryContext`], so `stats.io` is the
     /// traffic *this query* caused — the same attribution path the parallel
     /// [`BatchRunner`] uses (for a lone query on a cold cache it equals the
     /// store's global delta).
     pub fn run_solver(&self, solver: &dyn Solver) -> RunResult<'_> {
+        self.run_solver_ctx(solver, &QueryContext::new())
+    }
+
+    /// Runs `solver` from a cold buffer cache under the caller's
+    /// [`QueryContext`]: traffic is charged to `ctx`, and its deadline,
+    /// I/O budget or cancellation abort the run cooperatively —
+    /// [`RunResult::aborted`] then carries the reason and the stats hold
+    /// the exact partial attribution (a fault budget is met exactly:
+    /// `stats.io.faults == budget`).
+    pub fn run_solver_ctx(&self, solver: &dyn Solver, ctx: &QueryContext) -> RunResult<'_> {
         self.tree.store().clear_cache();
         self.tree.store().reset_stats();
-        let session = IoSession::new();
-        let (matching, stats) = solver.run(&self.problem().with_session(&session));
+        let outcome = solver.run(&self.problem().with_context(ctx));
+        let aborted = outcome.abort_reason();
+        let (matching, stats) = outcome.into_parts();
         RunResult {
             matching,
             stats,
+            aborted,
             instance: self,
         }
+    }
+
+    /// [`SpatialAssignment::run_config`] under a caller-supplied
+    /// [`QueryContext`] (deadline / I/O budget / cancellation).
+    pub fn run_config_ctx(
+        &self,
+        config: &SolverConfig,
+        ctx: &QueryContext,
+    ) -> Result<RunResult<'_>, UnknownSolver> {
+        let solver = SolverRegistry::with_defaults().build(config)?;
+        Ok(self.run_solver_ctx(&*solver, ctx))
     }
 
     /// Back-compat wrapper: runs a legacy [`Algorithm`] selection through

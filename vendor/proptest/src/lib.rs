@@ -214,7 +214,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]. Implemented for integer ranges so
+    /// Length specification for [`vec()`]. Implemented for integer ranges so
     /// untyped literals like `1..200` (which default to `i32`) work exactly
     /// as they do with the real proptest's `SizeRange`.
     pub trait SizeRange {
