@@ -105,8 +105,12 @@ pub fn ca_ctx(
         .collect();
 
     // Phase 2: concise matching in main memory between Q and P' (weighted).
+    // The source carries the query context even though this phase does no
+    // I/O: the IDA driver and engine poll it, so a deadline expiring during
+    // the CPU-bound concise matching aborts here (with the partial concise
+    // matching refined below) instead of overshooting until the run ends.
     let q_positions: Vec<Point> = providers.iter().map(|&(p, _)| p).collect();
-    let mut source = MemorySource::new(q_positions, reps);
+    let mut source = MemorySource::new(q_positions, reps).with_context(ctx);
     let (concise, concise_stats) = ida(providers, &mut source, &IdaConfig::default());
 
     // Phase 3: per-representative refinement. The concise matching fixes

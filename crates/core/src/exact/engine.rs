@@ -13,6 +13,7 @@
 
 use cca_flow::{DijkstraState, FlowGraph, NodeId};
 use cca_geo::Point;
+use cca_storage::QueryContext;
 
 use crate::matching::{MatchPair, Matching};
 use crate::stats::AlgoStats;
@@ -84,6 +85,10 @@ pub struct Engine {
     /// When true, `check_reduced_costs` runs after every commit (tests).
     pub paranoid: bool,
     pub stats: AlgoStats,
+    /// Cooperative abort context polled inside the Dijkstra/PUA loops, so a
+    /// CPU-heavy search over a large `Esub` cannot overshoot its deadline
+    /// between the drivers' loop-head polls.
+    ctx: Option<QueryContext>,
 }
 
 const NONE: u32 = u32::MAX;
@@ -129,7 +134,16 @@ impl Engine {
             in_fast_phase: true,
             paranoid: false,
             stats: AlgoStats::default(),
+            ctx: None,
         }
+    }
+
+    /// Attaches the query context whose deadline/cancellation the engine's
+    /// Dijkstra and PUA loops poll cooperatively. The drivers pass their
+    /// source's context here, so one context governs discovery I/O *and*
+    /// the CPU-bound search.
+    pub fn set_context(&mut self, ctx: Option<&QueryContext>) {
+        self.ctx = ctx.cloned();
     }
 
     /// Total provider capacity `Σ q.k`.
@@ -269,19 +283,34 @@ impl Engine {
         let e = self.insert_edge(qi, id, pos, weight, dist);
         self.dij.pua_insert_edge(&self.g, e);
         self.stats.pua_runs += 1;
+        let ctx = self.ctx.as_ref();
         if self.dij.is_settled(self.t) {
-            self.dij.drain_below_sink(&self.g, self.t);
-            self.alpha_t = Some(self.dij.alpha(self.t));
+            match self.dij.drain_below_sink_ctx(&self.g, self.t, ctx) {
+                Ok(()) => self.alpha_t = Some(self.dij.alpha(self.t)),
+                // The abort is sticky on the context; the driver's next
+                // loop-head poll unwinds with the partial matching, and a
+                // cleared alpha_t keeps `sp_valid` from committing a path
+                // whose search never finished.
+                Err(_) => self.alpha_t = None,
+            }
         } else {
-            self.alpha_t = self.dij.run_until(&self.g, self.t);
+            self.alpha_t = self
+                .dij
+                .run_until_ctx(&self.g, self.t, ctx)
+                .unwrap_or_default();
         }
     }
 
     /// Starts an SSPA iteration: fresh Dijkstra from `s` until the sink
-    /// settles (or the frontier empties). Returns the sp cost, if any.
+    /// settles (or the frontier empties). Returns the sp cost, if any —
+    /// `None` also when the query context aborted mid-search (the abort is
+    /// sticky; drivers observe it at their next loop-head poll).
     pub fn begin_iteration(&mut self) -> Option<f64> {
         self.dij.init(&self.g, self.s);
-        self.alpha_t = self.dij.run_until(&self.g, self.t);
+        self.alpha_t = self
+            .dij
+            .run_until_ctx(&self.g, self.t, self.ctx.as_ref())
+            .unwrap_or_default();
         self.stats.dijkstra_runs += 1;
         self.alpha_t
     }

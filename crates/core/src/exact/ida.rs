@@ -134,6 +134,7 @@ pub fn ida<S: CustomerSource>(
 ) -> (Matching, AlgoStats) {
     let start = Instant::now();
     let mut engine = Engine::new(providers, source.num_customers());
+    engine.set_context(source.context());
     let gamma = engine.total_capacity().min(source.total_weight());
     let mut heap = IdaHeap::new(providers.len(), source);
     let mut done = 0u64;

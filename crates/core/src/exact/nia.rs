@@ -82,6 +82,7 @@ pub fn nia<S: CustomerSource>(
 ) -> (Matching, AlgoStats) {
     let start = Instant::now();
     let mut engine = Engine::new(providers, source.num_customers());
+    engine.set_context(source.context());
     engine.skip_fast_phase();
     let gamma = engine.total_capacity().min(source.total_weight());
     let mut heap = EdgeHeap::new(providers.len(), source);

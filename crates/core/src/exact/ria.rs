@@ -36,6 +36,7 @@ pub fn ria<S: CustomerSource>(
     assert!(cfg.theta > 0.0, "theta must be positive");
     let start = Instant::now();
     let mut engine = Engine::new(providers, source.num_customers());
+    engine.set_context(source.context());
     engine.skip_fast_phase();
     let gamma = engine.total_capacity().min(source.total_weight());
     let max_edges = providers.len() as u64 * source.num_customers() as u64;
@@ -68,6 +69,12 @@ pub fn ria<S: CustomerSource>(
             engine.commit();
             done += 1;
         } else {
+            if source.abort_reason().is_some() {
+                // The search itself aborted mid-Dijkstra (deadline or
+                // cancellation polled inside the flow loop): not a
+                // miscomputed γ. The loop-head poll unwinds next round.
+                continue;
+            }
             assert!(
                 engine.stats.esub_edges < max_edges,
                 "sink unreachable with the complete edge set: γ miscomputed"

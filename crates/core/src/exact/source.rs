@@ -38,13 +38,21 @@ pub trait CustomerSource {
     /// `include_lo`), for RIA's (annular) range searches.
     fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer>;
 
+    /// The [`QueryContext`] governing this source, if any. The shared
+    /// incremental-SSPA engine reads it off the source so its CPU-bound
+    /// Dijkstra loops poll the same deadline/cancellation the I/O path
+    /// enforces — one context governs the whole query.
+    fn context(&self) -> Option<&QueryContext> {
+        None
+    }
+
     /// Why the source's query context aborted, if it did. A source that
     /// aborts makes its NN streams dry up and its range searches come back
     /// empty; the algorithm drivers poll this at their loop heads and
     /// unwind with a partial matching instead of spinning on an exhausted
-    /// source. Memory-backed sources never abort.
+    /// source. Sources without a context never abort.
     fn abort_reason(&self) -> Option<AbortReason> {
-        None
+        self.context().and_then(|c| c.abort_reason())
     }
 }
 
@@ -66,6 +74,10 @@ impl<T: CustomerSource + ?Sized> CustomerSource for &mut T {
 
     fn range(&mut self, qi: usize, lo: f64, hi: f64, include_lo: bool) -> Vec<SourcedCustomer> {
         (**self).range(qi, lo, hi, include_lo)
+    }
+
+    fn context(&self) -> Option<&QueryContext> {
+        (**self).context()
     }
 
     fn abort_reason(&self) -> Option<AbortReason> {
@@ -194,8 +206,8 @@ impl CustomerSource for RtreeSource<'_> {
             .collect()
     }
 
-    fn abort_reason(&self) -> Option<AbortReason> {
-        self.ctx.as_ref().and_then(|c| c.abort_reason())
+    fn context(&self) -> Option<&QueryContext> {
+        self.ctx.as_ref()
     }
 }
 
@@ -204,11 +216,18 @@ impl CustomerSource for RtreeSource<'_> {
 ///
 /// Per-provider NN streams are materialised eagerly (the sets involved are
 /// small by design — that is the whole point of the approximation).
+///
+/// A memory source performs no I/O, but it may still carry a
+/// [`QueryContext`] ([`MemorySource::with_context`]): the CPU-bound driver
+/// and engine loops then poll the context's deadline/cancellation, so even
+/// an all-in-memory solve (SSPA on a drained graph, CA's concise matching)
+/// cannot overshoot its deadline.
 pub struct MemorySource {
     customers: Vec<(Point, u32)>,
     /// Per provider: customer ids sorted by distance, plus a cursor.
     streams: Vec<(Vec<u32>, usize)>,
     providers: Vec<Point>,
+    ctx: Option<QueryContext>,
 }
 
 impl MemorySource {
@@ -228,7 +247,15 @@ impl MemorySource {
             customers,
             streams,
             providers,
+            ctx: None,
         }
+    }
+
+    /// Attaches the query context whose deadline/cancellation governs the
+    /// CPU-bound phases run over this source.
+    pub fn with_context(mut self, ctx: Option<&QueryContext>) -> Self {
+        self.ctx = ctx.cloned();
+        self
     }
 
     /// Position and weight of customer `id`.
@@ -275,6 +302,10 @@ impl CustomerSource for MemorySource {
                 })
             })
             .collect()
+    }
+
+    fn context(&self) -> Option<&QueryContext> {
+        self.ctx.as_ref()
     }
 }
 

@@ -54,6 +54,27 @@ impl Matching {
         providers: &[(Point, u32)],
         customers: &[Point],
     ) -> Result<(), String> {
+        self.validate_unit_impl(providers, customers, true)
+    }
+
+    /// Like [`Matching::validate_unit`] but for the *partial* matching of
+    /// an aborted run: every structural invariant must hold (distances,
+    /// capacities, no duplicated customer), except the size may fall short
+    /// of γ — an abort stops early, it never corrupts what was committed.
+    pub fn validate_unit_partial(
+        &self,
+        providers: &[(Point, u32)],
+        customers: &[Point],
+    ) -> Result<(), String> {
+        self.validate_unit_impl(providers, customers, false)
+    }
+
+    fn validate_unit_impl(
+        &self,
+        providers: &[(Point, u32)],
+        customers: &[Point],
+        require_full: bool,
+    ) -> Result<(), String> {
         let mut qload = vec![0u64; providers.len()];
         let mut passigned = vec![false; customers.len()];
         for p in &self.pairs {
@@ -87,8 +108,11 @@ impl Matching {
         }
         let total_cap: u64 = providers.iter().map(|&(_, k)| u64::from(k)).sum();
         let gamma = total_cap.min(customers.len() as u64);
-        if self.size() != gamma {
+        if require_full && self.size() != gamma {
             return Err(format!("size {} != γ = {gamma}", self.size()));
+        }
+        if self.size() > gamma {
+            return Err(format!("size {} exceeds γ = {gamma}", self.size()));
         }
         Ok(())
     }
@@ -234,6 +258,38 @@ mod tests {
             .validate_unit(&providers, &customers)
             .unwrap_err()
             .contains("geometry"));
+    }
+
+    #[test]
+    fn partial_validator_accepts_undersized_but_not_broken() {
+        let providers = vec![(Point::new(0.0, 0.0), 2)];
+        let customers = vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let partial = Matching {
+            pairs: vec![MatchPair {
+                provider: 0,
+                customer: 0,
+                units: 1,
+                dist: 1.0,
+                customer_pos: customers[0],
+            }],
+        };
+        assert!(partial.validate_unit(&providers, &customers).is_err());
+        partial
+            .validate_unit_partial(&providers, &customers)
+            .unwrap();
+        // Structural breakage still fails the partial validator.
+        let broken = Matching {
+            pairs: vec![MatchPair {
+                provider: 0,
+                customer: 0,
+                units: 1,
+                dist: 99.0,
+                customer_pos: customers[0],
+            }],
+        };
+        assert!(broken
+            .validate_unit_partial(&providers, &customers)
+            .is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use cca_geo::Point;
 use cca_rtree::RTree;
-use cca_storage::QueryContext;
+use cca_storage::{QueryContext, TenantId};
 
 use crate::exact::{CustomerSource, MemorySource, RtreeSource};
 
@@ -70,6 +70,12 @@ impl<'a> Problem<'a> {
         self.context
     }
 
+    /// The tenant this query runs on behalf of ([`TenantId::DEFAULT`] when
+    /// no context is attached — context-less runs are unmetered).
+    pub fn tenant(&self) -> TenantId {
+        self.context.map(|c| c.tenant()).unwrap_or_default()
+    }
+
     /// Providers (position, capacity).
     pub fn providers(&self) -> &'a [(Point, u32)] {
         self.providers
@@ -117,10 +123,16 @@ impl<'a> Problem<'a> {
                 self.provider_positions(),
                 self.context,
             )),
-            (None, Some(customers)) => Box::new(MemorySource::new(
-                self.provider_positions(),
-                customers.iter().map(|&p| (p, 1)).collect(),
-            )),
+            // The context rides the memory source too: no I/O happens, but
+            // the drivers and the flow engine poll it, so deadlines and
+            // cancellation govern all-in-memory solves as well.
+            (None, Some(customers)) => Box::new(
+                MemorySource::new(
+                    self.provider_positions(),
+                    customers.iter().map(|&p| (p, 1)).collect(),
+                )
+                .with_context(self.context),
+            ),
             (None, None) => panic!("Problem has no customer access: attach a tree or a slice"),
         }
     }

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use cca_flow::sspa::{solve_complete_bipartite, FlowCustomer, FlowProvider};
+use cca_flow::sspa::{solve_complete_bipartite_ctx, FlowCustomer, FlowProvider};
 
 use crate::approx::{ca_ctx, sa_ctx, CaConfig, SaConfig};
 use crate::exact::{ida, nia, ria, CustomerSource, IdaConfig, NiaConfig, RiaConfig};
@@ -103,7 +103,15 @@ impl Solver for SspaSolver {
             .iter()
             .map(|&(_, pos, weight)| FlowCustomer { pos, weight })
             .collect();
-        let (asg, sspa_stats) = solve_complete_bipartite(&fps, &fcs);
+        // The context-aware solve polls deadline/cancellation from inside
+        // the γ-iteration and Dijkstra loops, so an expired deadline aborts
+        // the CPU-bound flow phase without a single page access; the
+        // committed partial assignment is returned and `Solver::run`
+        // classifies the outcome off the context's sticky abort state.
+        let (asg, sspa_stats) = match solve_complete_bipartite_ctx(&fps, &fcs, problem.context()) {
+            Ok(complete) => complete,
+            Err(aborted) => (aborted.partial, aborted.stats),
+        };
         let pairs = asg
             .pairs
             .iter()

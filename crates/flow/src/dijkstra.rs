@@ -14,6 +14,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use cca_geo::OrdF64;
+use cca_storage::{Aborted, QueryContext};
 
 use crate::graph::{ArcId, FlowGraph, NodeId, NO_ARC};
 
@@ -21,6 +22,28 @@ use crate::graph::{ArcId, FlowGraph, NodeId, NO_ARC};
 /// (the normalised world), so 1e-7 absolute slack is ~12 decimal digits of
 /// headroom below the signal.
 pub const EPS: f64 = 1e-7;
+
+/// Inner-loop iterations between [`QueryContext`] polls in the
+/// context-aware entry points (Dijkstra settles, Hungarian column scans).
+/// A poll is an atomic load plus (at worst) an `Instant::now`; at
+/// 64-iteration stride its cost is noise against the loop body, yet a
+/// deadline or cancellation is still observed within microseconds — the
+/// CPU-bound analogue of the storage layer's poll-before-every-page-access.
+const CTX_POLL_STRIDE: u32 = 64;
+
+/// Strided cooperative poll: checks `ctx` every [`CTX_POLL_STRIDE`] calls
+/// (counting down through `counter`), erroring with the typed [`Aborted`].
+#[inline]
+pub(crate) fn poll(ctx: Option<&QueryContext>, counter: &mut u32) -> Result<(), Aborted> {
+    if let Some(ctx) = ctx {
+        if *counter == 0 {
+            *counter = CTX_POLL_STRIDE;
+            ctx.check()?;
+        }
+        *counter -= 1;
+    }
+    Ok(())
+}
 
 /// Resumable single-source shortest-path state over a [`FlowGraph`].
 ///
@@ -189,11 +212,34 @@ impl DijkstraState {
     /// is). Returns `α(target)`, or `None` if the target is unreachable in
     /// the current residual graph.
     pub fn run_until(&mut self, g: &FlowGraph, target: NodeId) -> Option<f64> {
+        self.run_until_ctx(g, target, None)
+            .expect("no context, no abort")
+    }
+
+    /// [`DijkstraState::run_until`] under a cooperative [`QueryContext`]:
+    /// the settle loop polls `ctx` every few dozen iterations and
+    /// unwinds with a typed [`Aborted`] on cancellation or an expired
+    /// deadline — so a CPU-bound search on a large graph cannot overshoot
+    /// its deadline even when it touches no page at all. The state is left
+    /// consistent (settled prefix plus frontier); an aborted computation may
+    /// simply be dropped, or resumed if the caller clears the abort source.
+    pub fn run_until_ctx(
+        &mut self,
+        g: &FlowGraph,
+        target: NodeId,
+        ctx: Option<&QueryContext>,
+    ) -> Result<Option<f64>, Aborted> {
         self.ensure(g.num_nodes());
         if self.is_settled(target) {
-            return Some(self.alpha(target));
+            return Ok(Some(self.alpha(target)));
         }
-        while let Some(Reverse((key, u))) = self.heap.pop() {
+        let mut until_poll = 0u32;
+        loop {
+            // Poll before de-heaping so an abort leaves the frontier intact.
+            poll(ctx, &mut until_poll)?;
+            let Some(Reverse((key, u))) = self.heap.pop() else {
+                return Ok(None);
+            };
             // Heap entries are always fresh (pushed after `touch`), so the
             // per-epoch arrays are directly valid here.
             let ui = u as usize;
@@ -203,12 +249,11 @@ impl DijkstraState {
             self.settled[ui] = true;
             self.settled_list.push(u);
             if u == target {
-                return Some(self.alpha[ui]);
+                return Ok(Some(self.alpha[ui]));
             }
             self.relax_out(g, u);
             self.propagate(g);
         }
-        None
     }
 
     /// PUA (Algorithm 5): after edge `e` was added to the graph, propagate
@@ -234,17 +279,31 @@ impl DijkstraState {
     /// # Panics
     /// Debug-asserts that the sink is settled.
     pub fn drain_below_sink(&mut self, g: &FlowGraph, t: NodeId) {
+        self.drain_below_sink_ctx(g, t, None)
+            .expect("no context, no abort")
+    }
+
+    /// [`DijkstraState::drain_below_sink`] with the same cooperative
+    /// [`QueryContext`] polling as [`DijkstraState::run_until_ctx`].
+    pub fn drain_below_sink_ctx(
+        &mut self,
+        g: &FlowGraph,
+        t: NodeId,
+        ctx: Option<&QueryContext>,
+    ) -> Result<(), Aborted> {
         debug_assert!(self.is_settled(t), "drain requires a settled sink");
         self.propagate(g);
+        let mut until_poll = 0u32;
         loop {
+            poll(ctx, &mut until_poll)?;
             // The bound can shrink while draining (a drained node may relax
             // an arc into t through the wave), so re-read it every step.
             let bound = self.alpha[t as usize];
             let Some(&Reverse((key, u))) = self.heap.peek() else {
-                return;
+                return Ok(());
             };
             if key.get() + EPS >= bound {
-                return;
+                return Ok(());
             }
             self.heap.pop();
             let ui = u as usize;
@@ -452,6 +511,35 @@ mod tests {
         d.pua_insert_edge(&g, e);
         d.drain_below_sink(&g, 4);
         assert_eq!(d.alpha(4), 11.0);
+    }
+
+    #[test]
+    fn aborted_context_stops_the_settle_loop() {
+        use cca_storage::AbortReason;
+        let g = diamond();
+        let mut d = DijkstraState::new();
+        let ctx = QueryContext::new();
+        ctx.cancel();
+        d.init(&g, 0);
+        let err = d.run_until_ctx(&g, 3, Some(&ctx)).unwrap_err();
+        assert_eq!(err.reason, AbortReason::Cancelled);
+        // An expired deadline aborts too — no page access involved.
+        let late = QueryContext::new()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        d.init(&g, 0);
+        assert_eq!(
+            d.run_until_ctx(&g, 3, Some(&late)).unwrap_err().reason,
+            AbortReason::DeadlineExceeded
+        );
+        // A clean context is invisible: same result as the plain entry point.
+        let clean = QueryContext::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until_ctx(&g, 3, Some(&clean)), Ok(Some(3.0)));
+        assert_eq!(
+            d.drain_below_sink_ctx(&g, 3, Some(&clean)),
+            Ok(()),
+            "drain under a clean context is a no-op here"
+        );
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //! * [`hungarian`] — the classical dense assignment solver [8, 11], used as
 //!   an independent correctness oracle,
 //! * [`validate`] — matching validators and brute-force optima for tests.
+//!
+//! The CPU-heavy loops are deadline-safe: the `*_ctx` entry points
+//! ([`DijkstraState::run_until_ctx`], [`sspa::solve_complete_bipartite_ctx`],
+//! [`hungarian::rectangular_assignment_ctx`]) poll a cooperative
+//! [`cca_storage::QueryContext`] every few dozen inner-loop iterations, so a
+//! flow solve on a large drained graph aborts from *inside* the iteration —
+//! with a typed [`cca_storage::Aborted`] and (for SSPA) the committed
+//! partial assignment — instead of overshooting its deadline until the next
+//! page access.
 
 pub mod dijkstra;
 pub mod graph;
@@ -23,6 +32,6 @@ pub mod validate;
 pub use dijkstra::{DijkstraState, EPS};
 pub use graph::{ArcId, FlowGraph, NodeId, NO_ARC};
 pub use sspa::{
-    required_flow, solve_complete_bipartite, unit_customers, Assignment, FlowCustomer,
-    FlowProvider, SspaStats,
+    required_flow, solve_complete_bipartite, solve_complete_bipartite_ctx, unit_customers,
+    Assignment, FlowAborted, FlowCustomer, FlowProvider, SspaStats,
 };

@@ -11,6 +11,7 @@
 //! have weight `g.w` (§4.2).
 
 use cca_geo::Point;
+use cca_storage::{AbortReason, QueryContext};
 
 use crate::dijkstra::DijkstraState;
 use crate::graph::{FlowGraph, NodeId};
@@ -78,6 +79,35 @@ pub struct SspaStats {
     pub edges: u64,
 }
 
+/// An SSPA solve cut short by its [`QueryContext`] (cancellation or an
+/// expired deadline — the flow engine touches no pages, so I/O budgets
+/// cannot trip here).
+///
+/// The partial state is exact: `partial` holds every unit whose augmenting
+/// path fully committed before the abort (a valid, capacity-respecting
+/// assignment of `stats.iterations` units), and the in-flight iteration's
+/// search is discarded without mutating the flow.
+#[derive(Clone, Debug)]
+pub struct FlowAborted {
+    pub reason: AbortReason,
+    /// Units assigned by the iterations that completed before the abort.
+    pub partial: Assignment,
+    /// Measurements up to the abort (`iterations` = committed units).
+    pub stats: SspaStats,
+}
+
+impl std::fmt::Display for FlowAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flow solve aborted ({}) after {} of γ iterations",
+            self.reason, self.stats.iterations
+        )
+    }
+}
+
+impl std::error::Error for FlowAborted {}
+
 /// Solves the CCA instance optimally with SSPA on the complete bipartite
 /// graph.
 ///
@@ -87,6 +117,22 @@ pub fn solve_complete_bipartite(
     providers: &[FlowProvider],
     customers: &[FlowCustomer],
 ) -> (Assignment, SspaStats) {
+    solve_complete_bipartite_ctx(providers, customers, None)
+        .unwrap_or_else(|_| unreachable!("no context, no abort"))
+}
+
+/// [`solve_complete_bipartite`] under a cooperative [`QueryContext`].
+///
+/// The γ-iteration driver polls the context at every iteration head and the
+/// inner Dijkstra polls it every few dozen settles, so a CPU-bound solve on
+/// a large drained graph observes cancellation or an expired deadline from
+/// *inside* the flow loop — no page access required — and unwinds with the
+/// typed [`FlowAborted`] carrying the partial assignment built so far.
+pub fn solve_complete_bipartite_ctx(
+    providers: &[FlowProvider],
+    customers: &[FlowCustomer],
+    ctx: Option<&QueryContext>,
+) -> Result<(Assignment, SspaStats), FlowAborted> {
     let mut g = FlowGraph::with_nodes(2 + providers.len() + customers.len());
     let s: NodeId = 0;
     let t: NodeId = 1;
@@ -117,24 +163,50 @@ pub fn solve_complete_bipartite(
     let gamma = required_flow(providers, customers);
     let mut dij = DijkstraState::new();
     let mut iterations = 0u64;
+    let extract = |g: &FlowGraph| {
+        let mut asg = Assignment::default();
+        for &(e, i, j) in &qp_edges {
+            let f = g.edge_flow(e);
+            if f > 0 {
+                asg.pairs.push((i, j, f));
+                asg.cost += f64::from(f) * providers[i].pos.dist(&customers[j].pos);
+            }
+        }
+        asg
+    };
     for _ in 0..gamma {
-        dij.init(&g, s);
-        let Some(alpha_t) = dij.run_until(&g, t) else {
-            unreachable!("complete bipartite graph always admits γ units");
+        // Iteration-head poll, plus stride polls inside the search: the
+        // committed units always form a valid partial assignment, and an
+        // in-flight (un-augmented) search never mutates the flow, so both
+        // abort points unwind to exactly the committed prefix.
+        let searched = match ctx.map(|c| c.check()) {
+            Some(Err(a)) => Err(a),
+            _ => {
+                dij.init(&g, s);
+                dij.run_until_ctx(&g, t, ctx)
+            }
         };
-        dij.augment_unit(&mut g, t);
-        g.update_potentials(dij.settled_nodes(), |v| dij.alpha(v), alpha_t);
-        iterations += 1;
-    }
-
-    let mut asg = Assignment::default();
-    for &(e, i, j) in &qp_edges {
-        let f = g.edge_flow(e);
-        if f > 0 {
-            asg.pairs.push((i, j, f));
-            asg.cost += f64::from(f) * providers[i].pos.dist(&customers[j].pos);
+        match searched {
+            Ok(Some(alpha_t)) => {
+                dij.augment_unit(&mut g, t);
+                g.update_potentials(dij.settled_nodes(), |v| dij.alpha(v), alpha_t);
+                iterations += 1;
+            }
+            Ok(None) => unreachable!("complete bipartite graph always admits γ units"),
+            Err(a) => {
+                return Err(FlowAborted {
+                    reason: a.reason,
+                    partial: extract(&g),
+                    stats: SspaStats {
+                        iterations,
+                        edges: g.num_edges() as u64,
+                    },
+                })
+            }
         }
     }
+
+    let asg = extract(&g);
     let stats = SspaStats {
         iterations,
         edges: g.num_edges() as u64,
@@ -143,7 +215,7 @@ pub fn solve_complete_bipartite(
         g.check_reduced_costs(crate::dijkstra::EPS * 100.0).is_ok(),
         "optimality certificate violated"
     );
-    (asg, stats)
+    Ok((asg, stats))
 }
 
 /// Convenience constructor for unit-weight customers.
@@ -250,6 +322,88 @@ mod tests {
         assert_eq!(load[0], 2, "nearer provider takes its full capacity");
         assert_eq!(load[1], 1);
         assert!((asg.cost - (2.0 * 4.0 + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_the_first_augmentation() {
+        use std::time::{Duration, Instant};
+        let providers = [q(0.0, 0.0, 2), q(50.0, 0.0, 2)];
+        let customers = unit_customers(&[
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(49.0, 0.0),
+        ]);
+        let ctx = QueryContext::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = solve_complete_bipartite_ctx(&providers, &customers, Some(&ctx)).unwrap_err();
+        assert_eq!(err.reason, AbortReason::DeadlineExceeded);
+        assert_eq!(err.partial.size(), 0, "no iteration ran");
+        assert_eq!(err.stats.iterations, 0);
+        assert!(err.stats.edges > 0, "the graph was built before the poll");
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn clean_context_matches_the_plain_entry_point() {
+        let providers = [q(0.0, 0.0, 1), q(100.0, 0.0, 2)];
+        let customers = [p(3.0, 0.0), p(97.0, 0.0)];
+        let ctx = QueryContext::new();
+        let (asg, stats) =
+            solve_complete_bipartite_ctx(&providers, &customers, Some(&ctx)).unwrap();
+        let (want, want_stats) = solve_complete_bipartite(&providers, &customers);
+        assert_eq!(asg.cost, want.cost);
+        assert_eq!(asg.pairs, want.pairs);
+        assert_eq!(stats.iterations, want_stats.iterations);
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_a_valid_committed_prefix() {
+        // A large instance (γ = 400 over an 80k-edge graph takes well over
+        // the canceller's delay) cancelled from another thread: the solve
+        // must stop part-way with a prefix that respects every capacity.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let providers: Vec<FlowProvider> = (0..40)
+            .map(|_| {
+                q(
+                    rng.random_range(0.0..1000.0),
+                    rng.random_range(0.0..1000.0),
+                    10,
+                )
+            })
+            .collect();
+        let customers: Vec<FlowCustomer> = (0..2000)
+            .map(|_| p(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
+            .collect();
+        let ctx = QueryContext::new();
+        let canceller = ctx.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            canceller.cancel();
+        });
+        let result = solve_complete_bipartite_ctx(&providers, &customers, Some(&ctx));
+        handle.join().unwrap();
+        let err = result.expect_err("γ=400 unit augmentations far outlast a 5 ms fuse");
+        assert_eq!(err.reason, AbortReason::Cancelled);
+        assert_eq!(err.partial.size(), err.stats.iterations);
+        assert!(err.stats.iterations < 400, "aborted before completing");
+        // Capacity feasibility of the partial assignment.
+        for (qi, load) in err
+            .partial
+            .provider_load(providers.len())
+            .iter()
+            .enumerate()
+        {
+            assert!(*load <= u64::from(providers[qi].cap), "provider {qi}");
+        }
+        for (pj, load) in err
+            .partial
+            .customer_load(customers.len())
+            .iter()
+            .enumerate()
+        {
+            assert!(*load <= u64::from(customers[pj].weight), "customer {pj}");
+        }
     }
 
     #[test]

@@ -1,30 +1,50 @@
-//! `cca-serve` — the priority-scheduled serving layer for CCA queries.
+//! `cca-serve` — the tenant-fair, priority-scheduled serving layer for CCA
+//! queries.
 //!
 //! The UYMM08 algorithms can burn unbounded I/O on adversarial inputs, so a
 //! serving path needs more than a work-stealing cursor: it needs *admission
-//! control* (a bounded backlog that sheds load explicitly), *priorities*
-//! (with aging, so low-priority work is deferred but never starved),
+//! control* (a bounded backlog that sheds load explicitly), *fairness
+//! across tenants* (one aggressive party must not monopolise the queue or
+//! the workers, however high it bids its priorities), *priorities* (with
+//! aging, so low-priority work is deferred but never starved — per tenant),
 //! *deadlines and I/O budgets* (enforced cooperatively through
-//! [`QueryContext`], which the storage layer charges at page-fault time)
-//! and *cancellation*. This crate provides that serving layer:
+//! [`QueryContext`], which the storage layer charges at page-fault time and
+//! the flow engine polls inside its CPU loops) and *cancellation*. This
+//! crate provides that serving layer as a **two-level scheduler**:
+//!
+//! * level 1 picks the *tenant* by weighted deficit-round-robin over the
+//!   backlogged tenants ([`TenantQuota::weight`]), with per-tenant
+//!   admission quotas (queue slots, in-flight cap);
+//! * level 2 keeps the PR 4 priority+aging semantics *within* each tenant
+//!   ([`queue::AgingQueue`]), preserving the deterministic per-tenant
+//!   starvation bound (`3 × aging_period + 1` tenant-local dispatches).
+//!
+//! The pieces:
 //!
 //! * [`serve`] — runs a scoped worker pool; requests may borrow the shared
 //!   instance from the caller's stack (no `'static` bound),
 //! * [`ServeHandle::submit`] — admission: returns a [`Ticket`] or sheds
-//!   the request with [`Rejected::QueueFull`],
-//! * [`Ticket`] — await / poll / cancel one query,
-//! * [`queue::AgingQueue`] — the bounded multi-level priority queue with
-//!   the deterministic anti-starvation bound,
-//! * [`ServeConfig`] — workers, queue capacity, aging period.
+//!   the request with [`Rejected::QueueFull`] /
+//!   [`Rejected::TenantQuotaExceeded`],
+//! * [`Ticket`] — await / poll / cancel one query (cancelling a queued
+//!   query releases its admission slot immediately),
+//! * [`ServeHandle::tenant_stats`] — operator snapshots: per-tenant
+//!   dispatch/abort counters, cumulative attributed I/O, latency,
+//! * [`ServeConfig`] — workers, queue capacity, aging period, tenant
+//!   weights and quotas.
 //!
 //! ```
-//! use cca_serve::{serve, Priority, QueryContext, Request, ServeConfig};
+//! use cca_serve::{serve, Priority, QueryContext, Request, ServeConfig, TenantId, TenantQuota};
 //!
-//! let config = ServeConfig::default().workers(2).queue_capacity(8);
+//! let config = ServeConfig::default()
+//!     .workers(2)
+//!     .queue_capacity(8)
+//!     .tenant_quota(TenantId(1), TenantQuota::default().weight(2));
 //! let total: u64 = serve(config, |handle| {
 //!     let tickets: Vec<_> = (0..4u64)
 //!         .map(|i| {
 //!             let req = Request::new(move |_ctx: &QueryContext| i * 10)
+//!                 .tenant(TenantId(u32::from(i % 2 == 0)))
 //!                 .priority(if i == 0 { Priority::High } else { Priority::Normal });
 //!             handle.submit(req).expect("queue has room")
 //!         })
@@ -35,12 +55,14 @@
 //! ```
 //!
 //! The façade crate's `BatchRunner` is a thin adapter over this scheduler,
-//! and `examples/serving.rs` shows the full submit / deadline / shed loop
-//! on a mixed workload.
+//! and `examples/tenants.rs` shows two weighted tenants sharing one
+//! instance, quota shedding included.
 
+mod drr;
 pub mod queue;
 pub mod scheduler;
 
-pub use cca_storage::{AbortReason, Aborted, IoStats, Priority, QueryContext};
+pub use cca_storage::{AbortReason, Aborted, IoStats, Priority, QueryContext, TenantId};
+pub use drr::{TenantQuota, TenantStats};
 pub use queue::AgingQueue;
 pub use scheduler::{serve, Rejected, Request, ServeConfig, ServeHandle, Ticket};

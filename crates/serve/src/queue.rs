@@ -102,6 +102,20 @@ impl<T> AgingQueue<T> {
             }
         }
     }
+
+    /// Removes and returns the first queued entry matching `pred` (scanning
+    /// highest level first), or `None`. This is how a still-queued job is
+    /// withdrawn at cancel time — the admission slot frees immediately
+    /// instead of when a worker would eventually pop the dead entry.
+    pub fn remove_first(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        for level in self.levels.iter_mut().rev() {
+            if let Some(i) = level.iter().position(&mut pred) {
+                self.len -= 1;
+                return level.remove(i);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +193,21 @@ mod tests {
             assert_ne!(q.pop(), Some(999), "high work drains first without aging");
         }
         assert_eq!(q.pop(), Some(999));
+    }
+
+    #[test]
+    fn remove_first_frees_a_slot_and_preserves_order() {
+        let mut q = AgingQueue::new(3, 0);
+        q.push(Priority::Low, "a").unwrap();
+        q.push(Priority::High, "b").unwrap();
+        q.push(Priority::Low, "c").unwrap();
+        assert_eq!(q.remove_first(|&x| x == "a"), Some("a"));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.remove_first(|&x| x == "a"), None, "already removed");
+        // The freed slot admits again; remaining order is untouched.
+        q.push(Priority::Low, "d").unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["b", "c", "d"]);
     }
 
     #[test]

@@ -1,25 +1,34 @@
-//! The worker-pool scheduler: scoped workers draining the [`AgingQueue`],
-//! tickets for callers, explicit load shedding at admission.
+//! The worker-pool scheduler: scoped workers draining the two-level ready
+//! queue (tenant-fair DRR over per-tenant priority+aging queues), tickets
+//! for callers, explicit load shedding at admission.
 
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
-use cca_storage::{Priority, QueryContext};
+use cca_storage::{Priority, QueryContext, TenantId};
 
-use crate::queue::AgingQueue;
+use crate::drr::{DrrQueue, PushError, TenantQuota, TenantStats};
 
 /// Scheduler tuning.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads (≥ 1).
     pub workers: usize,
-    /// Admission bound: queued (not yet running) requests beyond this are
-    /// shed with [`Rejected::QueueFull`]. This is semaphore-style admission
-    /// control — the capacity is the number of backlog permits.
+    /// Global admission bound: queued (not yet running) requests beyond
+    /// this are shed with [`Rejected::QueueFull`]. This is semaphore-style
+    /// admission control — the capacity is the number of backlog permits,
+    /// shared by all tenants.
     pub queue_capacity: usize,
-    /// Pops between priority-aging rounds (`0` disables aging). With `L`
-    /// priority levels, a waiter reaches the top level after at most
-    /// `(L − 1) × aging_period` dispatches — the anti-starvation bound.
+    /// *Per-tenant* dispatches between priority-aging rounds (`0` disables
+    /// aging). With `L` priority levels, a waiter reaches its tenant's top
+    /// level after at most `(L − 1) × aging_period` of that tenant's own
+    /// dispatches — the anti-starvation bound, now per tenant.
     pub aging_period: u32,
+    /// Weight and quotas applied to tenants without an explicit entry in
+    /// [`ServeConfig::quotas`].
+    pub default_quota: TenantQuota,
+    /// Per-tenant overrides of weight / queue slots / in-flight cap.
+    pub quotas: Vec<(TenantId, TenantQuota)>,
 }
 
 impl Default for ServeConfig {
@@ -30,6 +39,8 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             queue_capacity: 1024,
             aging_period: 8,
+            default_quota: TenantQuota::default(),
+            quotas: Vec::new(),
         }
     }
 }
@@ -42,7 +53,7 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the admission bound.
+    /// Sets the global admission bound.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity >= 1, "capacity of at least one request");
         self.queue_capacity = capacity;
@@ -54,15 +65,40 @@ impl ServeConfig {
         self.aging_period = period;
         self
     }
+
+    /// Sets the quota applied to tenants without an explicit override.
+    pub fn default_quota(mut self, quota: TenantQuota) -> Self {
+        self.default_quota = quota;
+        self
+    }
+
+    /// Sets (or replaces) one tenant's weight and admission quotas.
+    pub fn tenant_quota(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
+        if let Some(entry) = self.quotas.iter_mut().find(|(t, _)| *t == tenant) {
+            entry.1 = quota;
+        } else {
+            self.quotas.push((tenant, quota));
+        }
+        self
+    }
 }
 
 /// Why a submission was refused — the explicit load-shedding signal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rejected {
-    /// The backlog is at capacity; retry later or shed the query.
+    /// The global backlog is at capacity; retry later or shed the query.
     QueueFull {
         /// The configured admission bound that was hit.
         capacity: usize,
+    },
+    /// The submitting tenant's own queue-slot quota is exhausted — other
+    /// tenants' traffic is unaffected, which is the point: one party
+    /// cannot convert its flood into everyone's `QueueFull`.
+    TenantQuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: TenantId,
+        /// The tenant's configured backlog permit count.
+        queue_slots: usize,
     },
 }
 
@@ -71,6 +107,12 @@ impl std::fmt::Display for Rejected {
         match self {
             Rejected::QueueFull { capacity } => {
                 write!(f, "admission queue full ({capacity} queued requests)")
+            }
+            Rejected::TenantQuotaExceeded {
+                tenant,
+                queue_slots,
+            } => {
+                write!(f, "{tenant} queue quota exhausted ({queue_slots} slots)")
             }
         }
     }
@@ -81,7 +123,7 @@ impl std::error::Error for Rejected {}
 type Work<'env, T> = Box<dyn FnOnce(&QueryContext) -> T + Send + 'env>;
 
 /// One query submission: the work closure plus its [`QueryContext`]
-/// (priority, deadline, I/O budget, cancellation).
+/// (tenant, priority, deadline, I/O budget, cancellation).
 pub struct Request<'env, T> {
     ctx: QueryContext,
     work: Work<'env, T>,
@@ -96,7 +138,7 @@ impl<'env, T> Request<'env, T> {
         }
     }
 
-    /// Replaces the query context (deadline, budget, priority, …).
+    /// Replaces the query context (tenant, deadline, budget, priority, …).
     pub fn context(mut self, ctx: QueryContext) -> Self {
         self.ctx = ctx;
         self
@@ -105,6 +147,12 @@ impl<'env, T> Request<'env, T> {
     /// Sets just the priority, keeping the rest of the context.
     pub fn priority(mut self, priority: Priority) -> Self {
         self.ctx = self.ctx.with_priority(priority);
+        self
+    }
+
+    /// Sets just the tenant, keeping the rest of the context.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.ctx = self.ctx.with_tenant(tenant);
         self
     }
 }
@@ -147,14 +195,27 @@ impl<T> TicketCell<T> {
     }
 }
 
-/// The caller's handle on one submitted query: await the result, poll it,
-/// or cancel the query cooperatively.
-pub struct Ticket<T> {
-    cell: Arc<TicketCell<T>>,
-    ctx: QueryContext,
+/// Runs a job's closure under its context and resolves its ticket cell,
+/// catching a panicking closure so the waiter never blocks forever.
+fn run_job<T>(job: Job<'_, T>) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.work)(&job.ctx)));
+    match result {
+        Ok(value) => job.cell.fill(Slot::Done(value)),
+        Err(payload) => job.cell.fill(Slot::Panicked(payload)),
+    }
 }
 
-impl<T> Ticket<T> {
+/// The caller's handle on one submitted query: await the result, poll it,
+/// or cancel the query cooperatively.
+pub struct Ticket<'a, 'env, T> {
+    cell: Arc<TicketCell<T>>,
+    ctx: QueryContext,
+    tenant: TenantId,
+    seq: u64,
+    shared: &'a Shared<'env, T>,
+}
+
+impl<T> Ticket<'_, '_, T> {
     /// Blocks until the query finishes and returns its result.
     ///
     /// # Panics
@@ -212,12 +273,26 @@ impl<T> Ticket<T> {
         !matches!(*self.cell.lock(), Slot::Pending)
     }
 
-    /// Requests cooperative cancellation of the query. A queued query runs
-    /// its closure, which observes the cancelled context immediately and
-    /// unwinds with a partial result; a running query aborts at its next
-    /// context poll. `wait` still returns that (partial) result.
+    /// Requests cooperative cancellation of the query.
+    ///
+    /// A query that is *still queued* is withdrawn right here: its
+    /// admission slot (global and per-tenant) is released at cancel time —
+    /// not when a worker would eventually pop the dead entry — and its
+    /// closure runs on the cancelling thread, where it observes the
+    /// cancelled context at its first poll and unwinds with its partial
+    /// result. A *running* query aborts at its next context poll. Either
+    /// way, [`Ticket::wait`] still returns the (partial) result.
     pub fn cancel(&self) {
         self.ctx.cancel();
+        let withdrawn = {
+            let mut state = self.shared.lock();
+            state
+                .queue
+                .remove_queued(self.tenant, |job| job.seq == self.seq)
+        };
+        if let Some(job) = withdrawn {
+            run_job(job);
+        }
     }
 
     /// The query's context (for inspecting attribution mid-flight).
@@ -227,13 +302,17 @@ impl<T> Ticket<T> {
 }
 
 struct Job<'env, T> {
+    /// Scheduler-unique id, so a cancel can withdraw exactly this entry.
+    seq: u64,
     ctx: QueryContext,
     cell: Arc<TicketCell<T>>,
     work: Work<'env, T>,
+    submitted_at: Instant,
 }
 
 struct State<'env, T> {
-    queue: AgingQueue<Job<'env, T>>,
+    queue: DrrQueue<Job<'env, T>>,
+    next_seq: u64,
     shutdown: bool,
 }
 
@@ -253,59 +332,117 @@ pub struct ServeHandle<'a, 'env, T: Send> {
     shared: &'a Shared<'env, T>,
 }
 
-impl<'env, T: Send> ServeHandle<'_, 'env, T> {
+impl<'a, 'env, T: Send> ServeHandle<'a, 'env, T> {
     /// Submits a request for scheduling. Returns the [`Ticket`] to await,
-    /// or sheds the request with [`Rejected::QueueFull`] when the backlog
-    /// is at capacity.
-    pub fn submit(&self, request: Request<'env, T>) -> Result<Ticket<T>, Rejected> {
+    /// or sheds the request explicitly: [`Rejected::TenantQuotaExceeded`]
+    /// when the submitting tenant's own queue-slot quota is exhausted,
+    /// [`Rejected::QueueFull`] when the shared backlog is at capacity.
+    pub fn submit(&self, request: Request<'env, T>) -> Result<Ticket<'a, 'env, T>, Rejected> {
         let Request { ctx, work } = request;
         let cell = Arc::new(TicketCell::new());
+        let tenant = ctx.tenant();
+        let priority = ctx.priority();
+        let mut state = self.shared.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
         let job = Job {
+            seq,
             ctx: ctx.clone(),
             cell: Arc::clone(&cell),
             work,
+            submitted_at: Instant::now(),
         };
-        let priority = ctx.priority();
-        let mut state = self.shared.lock();
-        match state.queue.push(priority, job) {
+        match state.queue.push(tenant, priority, job) {
             Ok(()) => {
-                let capacity = state.queue.capacity();
-                debug_assert!(state.queue.len() <= capacity);
+                debug_assert!(state.queue.len() <= state.queue.capacity());
                 drop(state);
                 self.shared.work_ready.notify_one();
-                Ok(Ticket { cell, ctx })
+                Ok(Ticket {
+                    cell,
+                    ctx,
+                    tenant,
+                    seq,
+                    shared: self.shared,
+                })
             }
-            Err(_) => {
-                let capacity = state.queue.capacity();
-                Err(Rejected::QueueFull { capacity })
-            }
+            Err(PushError::TenantQuota {
+                tenant,
+                queue_slots,
+            }) => Err(Rejected::TenantQuotaExceeded {
+                tenant,
+                queue_slots,
+            }),
+            Err(PushError::Full { capacity }) => Err(Rejected::QueueFull { capacity }),
         }
     }
 
-    /// Requests currently queued (admitted, not yet dispatched).
+    /// Requests currently queued (admitted, not yet dispatched), across
+    /// all tenants.
     pub fn queue_len(&self) -> usize {
         self.shared.lock().queue.len()
+    }
+
+    /// Operator snapshot of every tenant the scheduler has seen (or was
+    /// configured with), sorted by tenant id: dispatch/abort counters,
+    /// cumulative attributed I/O, and latency aggregates.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.shared.lock().queue.tenant_stats()
+    }
+
+    /// Snapshot of one tenant, if the scheduler has seen it.
+    pub fn tenant_stats_for(&self, tenant: TenantId) -> Option<TenantStats> {
+        self.shared.lock().queue.tenant_stats_for(tenant)
     }
 }
 
 fn worker<T: Send>(shared: &Shared<'_, T>) {
     let mut state = shared.lock();
     loop {
-        if let Some(job) = state.queue.pop() {
+        if let Some((tenant, job)) = state.queue.pop() {
             drop(state);
             // The closure polls the context itself (an expired deadline or
-            // cancelled queued job unwinds on its first poll). A panicking
-            // closure must still fill the cell — otherwise its waiter
-            // blocks forever — so the panic is caught here and re-raised
-            // at the ticket; the worker itself keeps serving.
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.work)(&job.ctx)));
+            // cancelled queued job unwinds on its first poll); the panic is
+            // caught so the waiter never blocks on an unfilled cell.
+            let Job {
+                ctx,
+                cell,
+                work,
+                submitted_at,
+                ..
+            } = job;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&ctx)));
+            state = shared.lock();
+            // `recorded_abort`, not `abort_reason`: the latter is an active
+            // poll that could record a deadline that expired *after* the
+            // closure finished, counting a cleanly completed query as
+            // aborted in the stats while its ticket reports completion.
+            state.queue.finish(
+                tenant,
+                ctx.stats(),
+                submitted_at.elapsed(),
+                ctx.recorded_abort().is_some(),
+            );
+            // A completion can unblock an in-flight-capped tenant's backlog
+            // for the *other* parked workers, and during shutdown sleepers
+            // must recheck the exit condition — wake everyone (completions
+            // are not a hot path; the dispatch path still uses notify_one).
+            if !state.queue.is_empty() || state.shutdown {
+                shared.work_ready.notify_all();
+            }
+            drop(state);
+            // Resolve the ticket only after the accounting landed, so a
+            // waiter that observes the result also observes its tenant's
+            // stats updated.
             match result {
-                Ok(value) => job.cell.fill(Slot::Done(value)),
-                Err(payload) => job.cell.fill(Slot::Panicked(payload)),
+                Ok(value) => cell.fill(Slot::Done(value)),
+                Err(payload) => cell.fill(Slot::Panicked(payload)),
             }
             state = shared.lock();
-        } else if state.shutdown {
+        } else if state.queue.is_empty() && state.shutdown {
+            // Drained and shutting down. (A non-empty queue whose tenants
+            // are all at their in-flight caps waits below instead: their
+            // running queries are on other workers, whose completions
+            // notify.)
             return;
         } else {
             state = shared
@@ -349,7 +486,13 @@ where
     assert!(config.queue_capacity >= 1, "capacity of at least one");
     let shared: Shared<'env, T> = Shared {
         state: Mutex::new(State {
-            queue: AgingQueue::new(config.queue_capacity, config.aging_period),
+            queue: DrrQueue::new(
+                config.queue_capacity,
+                config.aging_period,
+                config.default_quota,
+                &config.quotas,
+            ),
+            next_seq: 0,
             shutdown: false,
         }),
         work_ready: Condvar::new(),
@@ -527,10 +670,227 @@ mod tests {
         assert_eq!(cancelled, Some(cca_storage::AbortReason::Cancelled));
     }
 
-    /// The satellite starvation bound, end to end: one worker, a saturated
-    /// stream of high-priority requests, and a single low-priority request
-    /// submitted first. With aging every `A` dispatches the low request
-    /// must be dispatched within `3A + 1` rounds of entering the queue.
+    /// Cancelling a *still-queued* ticket releases its admission slot at
+    /// cancel time — the freed permit is reusable immediately, before any
+    /// worker touches the dead entry — and the ticket still resolves with
+    /// the closure's cancelled-context result.
+    #[test]
+    fn cancel_of_queued_job_releases_the_slot_immediately() {
+        let gate = Mutex::new(());
+        let guard = gate.lock().unwrap();
+        let config = ServeConfig::default()
+            .workers(1)
+            .queue_capacity(2)
+            .aging_period(0);
+        serve(config, |handle| {
+            let blocker = handle
+                .submit(Request::new(|_| {
+                    drop(gate.lock().unwrap_or_else(|e| e.into_inner()));
+                    "blocker"
+                }))
+                .unwrap();
+            while handle.queue_len() > 0 {
+                std::thread::yield_now();
+            }
+            // Saturate the backlog while the only worker is parked.
+            let doomed = handle
+                .submit(Request::new(|ctx: &QueryContext| {
+                    match ctx.abort_reason() {
+                        Some(_) => "unwound",
+                        None => "ran",
+                    }
+                }))
+                .unwrap();
+            let _keep = handle.submit(Request::new(|_| "keep")).unwrap();
+            assert!(matches!(
+                handle.submit(Request::new(|_| "over")),
+                Err(Rejected::QueueFull { .. })
+            ));
+            // Cancel the queued job: both permits' accounting must update
+            // with the worker still parked.
+            doomed.cancel();
+            assert_eq!(handle.queue_len(), 1, "slot released at cancel time");
+            let refill = handle.submit(Request::new(|_| "refill")).unwrap();
+            // The cancelled ticket resolved on the cancelling thread with
+            // the closure's cancelled-context result.
+            assert!(doomed.is_done());
+            assert_eq!(doomed.wait(), "unwound");
+            let stats = handle.tenant_stats_for(TenantId::DEFAULT).unwrap();
+            assert_eq!(stats.cancelled_queued, 1);
+            drop(guard);
+            blocker.wait();
+            refill.wait();
+        });
+    }
+
+    /// The ISSUE's adversarial fairness scenario, end to end: tenant A
+    /// floods critical-priority work, tenant B (equal weight) submits less
+    /// and at lower priority — yet over every 50-dispatch window of a
+    /// saturated run, B receives at least 40 % of the dispatches.
+    #[test]
+    fn adversarial_tenant_cannot_starve_an_equal_weight_peer() {
+        const A: TenantId = TenantId(1);
+        const B: TenantId = TenantId(2);
+        let order = Mutex::new(Vec::new());
+        let gate = Mutex::new(());
+        let guard = gate.lock().unwrap();
+        let config = ServeConfig::default()
+            .workers(1)
+            .queue_capacity(256)
+            .aging_period(4);
+        serve(config, |handle| {
+            let blocker = handle
+                .submit(Request::new(|_| {
+                    drop(gate.lock().unwrap_or_else(|e| e.into_inner()));
+                }))
+                .unwrap();
+            while handle.queue_len() > 0 {
+                std::thread::yield_now();
+            }
+            let mut tickets = Vec::new();
+            let order = &order;
+            // A floods 120 critical requests; B submits 60 normal ones.
+            for _ in 0..120 {
+                tickets.push(
+                    handle
+                        .submit(
+                            Request::new(move |ctx: &QueryContext| {
+                                order.lock().unwrap().push(ctx.tenant());
+                            })
+                            .tenant(A)
+                            .priority(Priority::Critical),
+                        )
+                        .unwrap(),
+                );
+            }
+            for _ in 0..60 {
+                tickets.push(
+                    handle
+                        .submit(
+                            Request::new(move |ctx: &QueryContext| {
+                                order.lock().unwrap().push(ctx.tenant());
+                            })
+                            .tenant(B)
+                            .priority(Priority::Normal),
+                        )
+                        .unwrap(),
+                );
+            }
+            drop(guard);
+            blocker.wait();
+            for t in tickets {
+                t.wait();
+            }
+            let a_stats = handle.tenant_stats_for(A).unwrap();
+            let b_stats = handle.tenant_stats_for(B).unwrap();
+            assert_eq!(a_stats.dispatched, 120);
+            assert_eq!(b_stats.dispatched, 60);
+            assert_eq!(a_stats.completed, 120);
+            assert!(b_stats.max_latency >= b_stats.mean_latency());
+        });
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), 180);
+        // While both tenants are backlogged (the first 120 dispatches),
+        // every 50-wide window splits 25/25 — B's ≥ 40 % share holds.
+        for window in order[..120].windows(50) {
+            let b = window.iter().filter(|&&t| t == B).count();
+            assert!(
+                b >= 20,
+                "tenant B got {b}/50 dispatches in a saturated window"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_queue_quota_rejects_only_that_tenant() {
+        const NOISY: TenantId = TenantId(9);
+        let gate = Mutex::new(());
+        let guard = gate.lock().unwrap();
+        let config = ServeConfig::default()
+            .workers(1)
+            .queue_capacity(64)
+            .tenant_quota(NOISY, TenantQuota::default().queue_slots(2));
+        serve(config, |handle| {
+            let blocker = handle
+                .submit(Request::new(|_| {
+                    drop(gate.lock().unwrap_or_else(|e| e.into_inner()));
+                }))
+                .unwrap();
+            while handle.queue_len() > 0 {
+                std::thread::yield_now();
+            }
+            let mut tickets = Vec::new();
+            for _ in 0..2 {
+                tickets.push(handle.submit(Request::new(|_| ()).tenant(NOISY)).unwrap());
+            }
+            let shed = handle.submit(Request::new(|_| ()).tenant(NOISY));
+            assert_eq!(
+                shed.err(),
+                Some(Rejected::TenantQuotaExceeded {
+                    tenant: NOISY,
+                    queue_slots: 2
+                })
+            );
+            // The default tenant still has the global queue to itself.
+            tickets.push(handle.submit(Request::new(|_| ())).unwrap());
+            let stats = handle.tenant_stats_for(NOISY).unwrap();
+            assert_eq!(stats.rejected, 1);
+            assert_eq!(stats.queued, 2);
+            drop(guard);
+            blocker.wait();
+            for t in tickets {
+                t.wait();
+            }
+        });
+    }
+
+    /// An in-flight cap bounds worker occupancy: with 2 workers and a cap
+    /// of 1, no two of the capped tenant's queries may ever run
+    /// concurrently — dispatch is gated, admission is not.
+    #[test]
+    fn in_flight_cap_bounds_concurrency() {
+        const CAPPED: TenantId = TenantId(3);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let config = ServeConfig::default()
+            .workers(2)
+            .queue_capacity(64)
+            .tenant_quota(CAPPED, TenantQuota::default().max_in_flight(1));
+        serve(config, |handle| {
+            let concurrent = &concurrent;
+            let peak = &peak;
+            let tickets: Vec<_> = (0..6)
+                .map(|_| {
+                    handle
+                        .submit(
+                            Request::new(move |_| {
+                                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                                peak.fetch_max(now, Ordering::SeqCst);
+                                std::thread::sleep(Duration::from_millis(2));
+                                concurrent.fetch_sub(1, Ordering::SeqCst);
+                            })
+                            .tenant(CAPPED),
+                        )
+                        .unwrap()
+                })
+                .collect();
+            for t in tickets {
+                t.wait();
+            }
+        });
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "cap of 1 must serialise the tenant's queries"
+        );
+    }
+
+    /// The satellite starvation bound, end to end — unchanged from PR 4
+    /// but now *per tenant*: one worker, a saturated stream of
+    /// high-priority requests, and a single low-priority request submitted
+    /// first, all under one tenant. With aging every `A` of the tenant's
+    /// dispatches the low request must be dispatched within `3A + 1`
+    /// rounds of entering the queue.
     #[test]
     fn aged_low_priority_request_completes_within_bounded_rounds() {
         const AGING: u32 = 4;

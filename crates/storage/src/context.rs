@@ -68,6 +68,42 @@ impl Priority {
     }
 }
 
+/// Identifies the querying party a request runs on behalf of.
+///
+/// A tenant is the unit of *fairness and quota enforcement* in the serving
+/// layer: the two-level scheduler picks the tenant first (weighted
+/// deficit-round-robin) and only then applies priority+aging among that
+/// tenant's own queries, and per-tenant admission quotas bound how much of
+/// the shared queue and worker pool one party can occupy. Every
+/// [`QueryContext`] carries a tenant id (defaulting to
+/// [`TenantId::DEFAULT`]), so attribution — I/O counters, abort reasons,
+/// latency — can be aggregated per party all the way down the stack.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant unlabelled queries run under (id 0).
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// A tenant with the given id.
+    #[inline]
+    pub fn new(id: u32) -> Self {
+        TenantId(id)
+    }
+
+    /// The raw id.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant {}", self.0)
+    }
+}
+
 /// Why a query was aborted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AbortReason {
@@ -154,6 +190,7 @@ pub struct QueryContext {
     session: IoSession,
     control: Arc<Control>,
     priority: Priority,
+    tenant: TenantId,
     deadline: Option<Instant>,
     io_budget: Option<u64>,
 }
@@ -176,6 +213,14 @@ impl QueryContext {
     /// Sets the scheduling priority.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Labels the query with the tenant it runs on behalf of. The serving
+    /// layer schedules and meters per tenant; unlabelled queries run under
+    /// [`TenantId::DEFAULT`].
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -232,6 +277,12 @@ impl QueryContext {
     #[inline]
     pub fn priority(&self) -> Priority {
         self.priority
+    }
+
+    /// The tenant this query runs on behalf of.
+    #[inline]
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The absolute deadline, if any.
@@ -295,6 +346,16 @@ impl QueryContext {
             }
         }
         None
+    }
+
+    /// The abort reason *already recorded* by an earlier poll, without
+    /// checking (or recording) anything new. Use this for after-the-fact
+    /// accounting: a query that ran to completion without ever observing
+    /// an abort stays clean here, even if its deadline has passed by the
+    /// time the bookkeeper looks — [`QueryContext::abort_reason`] would
+    /// record a fresh reason and disagree with the returned outcome.
+    pub fn recorded_abort(&self) -> Option<AbortReason> {
+        decode_reason(self.control.abort.load(Ordering::Acquire))
     }
 
     /// [`QueryContext::abort_reason`] as a `Result`, for `?`-style use in
@@ -432,6 +493,31 @@ mod tests {
         });
         assert_eq!(session.stats().faults, 2);
         assert!(ctx.session().same_session(&session));
+    }
+
+    #[test]
+    fn recorded_abort_peeks_without_recording() {
+        let ctx = QueryContext::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        // Passive peek: nothing recorded yet, and the peek records nothing
+        // even though the deadline has passed.
+        assert_eq!(ctx.recorded_abort(), None);
+        assert_eq!(ctx.recorded_abort(), None);
+        // An active poll records; the peek then agrees.
+        assert_eq!(ctx.abort_reason(), Some(AbortReason::DeadlineExceeded));
+        assert_eq!(ctx.recorded_abort(), Some(AbortReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn tenant_label_defaults_and_sticks() {
+        let ctx = QueryContext::new();
+        assert_eq!(ctx.tenant(), TenantId::DEFAULT);
+        let ctx = ctx.with_tenant(TenantId::new(7));
+        assert_eq!(ctx.tenant(), TenantId(7));
+        assert_eq!(ctx.tenant().as_u32(), 7);
+        // Clones keep the label (it travels with tickets).
+        assert_eq!(ctx.clone().tenant(), TenantId(7));
+        assert_eq!(format!("{}", ctx.tenant()), "tenant 7");
+        assert!(TenantId(1) < TenantId(2));
     }
 
     #[test]

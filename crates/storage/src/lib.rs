@@ -14,8 +14,8 @@
 //! * [`stats::IoSession`] — a per-query attribution handle charged alongside
 //!   the global counters, so concurrent queries each see their own traffic,
 //! * [`context::QueryContext`] — the per-query control block (session +
-//!   priority + deadline + I/O budget + cancellation) threaded through every
-//!   page access; budgets trip at page-fault time,
+//!   tenant + priority + deadline + I/O budget + cancellation) threaded
+//!   through every page access; budgets trip at page-fault time,
 //! * [`store::PageStore`] — the facade striping pages over N independent
 //!   shards (own frames, LRU and lock each; counters are per-shard atomics
 //!   aggregated on read), shared across the serving layer's worker threads.
@@ -33,7 +33,7 @@ pub mod stats;
 pub mod store;
 
 pub use buffer::BufferPool;
-pub use context::{AbortReason, Aborted, Priority, QueryContext};
+pub use context::{AbortReason, Aborted, Priority, QueryContext, TenantId};
 pub use disk::{DiskManager, PageId};
 pub use stats::{IoSession, IoStats};
 pub use store::{default_shards, PageStore};

@@ -152,7 +152,13 @@ fn main() {
             .context(ctx);
             match handle.submit(request) {
                 Ok(ticket) => tickets.push((i, ticket)),
+                // Everything here runs as one (default) tenant, so only the
+                // global capacity sheds; `examples/tenants.rs` shows the
+                // per-tenant quota rejections.
                 Err(Rejected::QueueFull { capacity }) => shed.push((query.name, capacity)),
+                Err(rejected @ Rejected::TenantQuotaExceeded { .. }) => {
+                    unreachable!("no tenant quotas configured: {rejected}")
+                }
             }
         }
         let served: Vec<Served> = tickets

@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use cca_core::solver::{Solver, SolverConfig, SolverRegistry, UnknownSolver};
 use cca_core::{AlgoStats, Matching};
 use cca_serve::{serve, Request, ServeConfig, Ticket};
-use cca_storage::{AbortReason, IoStats, Priority, QueryContext};
+use cca_storage::{AbortReason, IoStats, Priority, QueryContext, TenantId};
 
 use crate::SpatialAssignment;
 
@@ -38,6 +38,7 @@ pub struct BatchRunner<'a> {
     registry: SolverRegistry,
     threads: usize,
     priority: Priority,
+    tenant: TenantId,
     deadline: Option<Duration>,
     io_budget: Option<u64>,
 }
@@ -54,6 +55,7 @@ impl<'a> BatchRunner<'a> {
             registry: SolverRegistry::with_defaults(),
             threads,
             priority: Priority::Normal,
+            tenant: TenantId::DEFAULT,
             deadline: None,
             io_budget: None,
         }
@@ -76,6 +78,17 @@ impl<'a> BatchRunner<'a> {
     /// (relevant when several batches share one instance's serving layer).
     pub fn priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Labels every query of the batch with `tenant`: each query's
+    /// [`QueryContext`] carries the id, so its buffer-pool traffic and
+    /// abort state are attributable to the tenant all the way down, and a
+    /// serving deployment running several batches through one shared
+    /// `cca_serve` scheduler gets tenant-fair dispatch and per-tenant
+    /// quotas between them.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -112,7 +125,9 @@ impl<'a> BatchRunner<'a> {
 
     /// The per-query context a batch query is submitted under.
     fn query_context(&self) -> QueryContext {
-        let mut ctx = QueryContext::new().with_priority(self.priority);
+        let mut ctx = QueryContext::new()
+            .with_priority(self.priority)
+            .with_tenant(self.tenant);
         if let Some(faults) = self.io_budget {
             ctx = ctx.with_io_budget(faults);
         }

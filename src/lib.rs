@@ -31,12 +31,16 @@
 //!
 //! Many independent queries against one instance go through the parallel
 //! [`BatchRunner`] — since PR 4 a thin adapter over the [`serve`] crate's
-//! priority-scheduled worker pool. Individual runs accept a
-//! [`QueryContext`] ([`SpatialAssignment::run_solver_ctx`]) carrying a
+//! worker pool, which since PR 5 schedules **tenant-fair**: weighted
+//! deficit-round-robin across tenants first, priority+aging within each
+//! tenant second, with per-tenant admission quotas and [`TenantStats`]
+//! operator snapshots. Individual runs accept a [`QueryContext`]
+//! ([`SpatialAssignment::run_solver_ctx`]) carrying a tenant label,
 //! deadline, I/O budget and cancellation flag; an aborted run returns its
-//! partial matching with exact partial I/O attribution. The legacy
-//! [`Algorithm`] enum is kept as a thin back-compat wrapper that maps onto
-//! [`SolverConfig`]s.
+//! partial matching with exact partial I/O attribution — deadlines are
+//! polled inside the CPU-bound flow loops too, so even an all-in-memory
+//! solve cannot overshoot. The legacy [`Algorithm`] enum is kept as a thin
+//! back-compat wrapper that maps onto [`SolverConfig`]s.
 //!
 //! Sub-crates (re-exported below): [`geo`] geometry, [`storage`] the paged
 //! disk + LRU buffer, [`rtree`] the spatial index, [`flow`] the min-cost-flow
@@ -56,7 +60,8 @@ mod batch;
 
 pub use batch::{BatchReport, BatchRunner, QueryResult};
 pub use cca_core::solver::{Outcome, Problem, Solver, SolverConfig, SolverRegistry, UnknownSolver};
-pub use cca_storage::{AbortReason, Priority, QueryContext};
+pub use cca_serve::{TenantQuota, TenantStats};
+pub use cca_storage::{AbortReason, Priority, QueryContext, TenantId};
 
 use cca_core::{AlgoStats, Matching, RefineMethod};
 use cca_geo::Point;
