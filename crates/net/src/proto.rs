@@ -1,0 +1,570 @@
+//! The typed request/response vocabulary the gateway speaks, plus its
+//! hand-written serde impls (tagged maps, the workspace enum idiom).
+//!
+//! Every way a query can fail inside the serving stack maps to a distinct
+//! [`ErrorCode`] on the wire — admission shedding
+//! ([`Rejected::QueueFull`], [`Rejected::TenantQuotaExceeded`]) and every
+//! [`AbortReason`] included — so a client can always tell *why* it got no
+//! matching back. Nothing is silently dropped: aborted queries return
+//! their partial [`AlgoStats`] alongside the error.
+
+use std::time::Duration;
+
+use cca_core::{AlgoStats, Matching, SolverConfig};
+use cca_geo::Point;
+use cca_serve::{Rejected, TenantStats};
+use cca_storage::{AbortReason, Priority, TenantId};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Version tag exchanged in the handshake; bumped on incompatible wire
+/// changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// First frame on every connection: the client introduces its tenant and
+/// protocol version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    pub tenant: TenantId,
+    pub version: u32,
+}
+
+impl Hello {
+    /// A current-version handshake for `tenant`.
+    pub fn new(tenant: TenantId) -> Self {
+        Hello {
+            tenant,
+            version: PROTOCOL_VERSION,
+        }
+    }
+}
+
+/// The server's handshake acknowledgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HelloAck {
+    pub version: u32,
+}
+
+/// What a solve runs against: a dataset preloaded on the server (solved
+/// against its disk-backed R-tree, warm cache) or problem data shipped
+/// inline in the request (solved in memory).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProblemSpec {
+    Dataset(String),
+    Inline {
+        providers: Vec<(Point, u32)>,
+        customers: Vec<Point>,
+    },
+}
+
+/// One capacity-constrained assignment query.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// Which solver and with what knobs ([`SolverConfig`]).
+    pub config: SolverConfig,
+    pub problem: ProblemSpec,
+    /// Scheduling priority inside the serving queue.
+    pub priority: Priority,
+    /// Deadline measured from admission (queue wait included).
+    pub deadline: Option<Duration>,
+    /// Page-fault budget for dataset solves.
+    pub io_budget: Option<u64>,
+}
+
+impl SolveRequest {
+    /// A normal-priority, unbounded request.
+    pub fn new(config: SolverConfig, problem: ProblemSpec) -> Self {
+        SolveRequest {
+            config,
+            problem,
+            priority: Priority::Normal,
+            deadline: None,
+            io_budget: None,
+        }
+    }
+
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn io_budget(mut self, faults: u64) -> Self {
+        self.io_budget = Some(faults);
+        self
+    }
+}
+
+/// A client→server frame (after the handshake).
+#[derive(Clone, Debug)]
+pub enum NetRequest {
+    Solve(SolveRequest),
+    /// Ask for the per-tenant serving stats.
+    Stats,
+    Ping,
+}
+
+/// A successful solve: the matching plus the algorithm/I-O counters.
+#[derive(Clone, Debug)]
+pub struct SolveReply {
+    pub matching: Matching,
+    pub stats: AlgoStats,
+}
+
+/// Per-tenant serving stats, one entry per tenant the instance has seen.
+#[derive(Clone, Debug)]
+pub struct StatsReply {
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Why a request failed, as a stable numeric code. Codes 1–2 are
+/// admission shedding ([`Rejected`]), 3–5 are in-flight aborts
+/// ([`AbortReason`]) — each source variant gets its own code, so nothing
+/// collapses into a generic failure on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The instance's global queue was full ([`Rejected::QueueFull`]).
+    QueueFull,
+    /// The tenant's own queue-slot quota was exhausted
+    /// ([`Rejected::TenantQuotaExceeded`]).
+    TenantQuotaExceeded,
+    /// The query was cancelled ([`AbortReason::Cancelled`]).
+    Cancelled,
+    /// The query ran past its deadline ([`AbortReason::DeadlineExceeded`]).
+    DeadlineExceeded,
+    /// The query exhausted its page-fault budget
+    /// ([`AbortReason::IoBudgetExceeded`]).
+    IoBudgetExceeded,
+    /// The request named a solver the registry doesn't know.
+    UnknownSolver,
+    /// The request named a dataset the gateway hasn't preloaded.
+    UnknownDataset,
+    /// The frame decoded but the request is invalid.
+    BadRequest,
+    /// Handshake version disagreed — the client spoke a different
+    /// protocol revision.
+    VersionMismatch,
+    /// The server failed internally (e.g. a solver panic).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            ErrorCode::QueueFull => 1,
+            ErrorCode::TenantQuotaExceeded => 2,
+            ErrorCode::Cancelled => 3,
+            ErrorCode::DeadlineExceeded => 4,
+            ErrorCode::IoBudgetExceeded => 5,
+            ErrorCode::UnknownSolver => 6,
+            ErrorCode::UnknownDataset => 7,
+            ErrorCode::BadRequest => 8,
+            ErrorCode::VersionMismatch => 9,
+            ErrorCode::Internal => 10,
+        }
+    }
+
+    /// The code's enum, if known.
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::QueueFull,
+            2 => ErrorCode::TenantQuotaExceeded,
+            3 => ErrorCode::Cancelled,
+            4 => ErrorCode::DeadlineExceeded,
+            5 => ErrorCode::IoBudgetExceeded,
+            6 => ErrorCode::UnknownSolver,
+            7 => ErrorCode::UnknownDataset,
+            8 => ErrorCode::BadRequest,
+            9 => ErrorCode::VersionMismatch,
+            10 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// All codes, for exhaustiveness tests.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::QueueFull,
+        ErrorCode::TenantQuotaExceeded,
+        ErrorCode::Cancelled,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::IoBudgetExceeded,
+        ErrorCode::UnknownSolver,
+        ErrorCode::UnknownDataset,
+        ErrorCode::BadRequest,
+        ErrorCode::VersionMismatch,
+        ErrorCode::Internal,
+    ];
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::QueueFull => "queue full",
+            ErrorCode::TenantQuotaExceeded => "tenant quota exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::DeadlineExceeded => "deadline exceeded",
+            ErrorCode::IoBudgetExceeded => "io budget exceeded",
+            ErrorCode::UnknownSolver => "unknown solver",
+            ErrorCode::UnknownDataset => "unknown dataset",
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::VersionMismatch => "version mismatch",
+            ErrorCode::Internal => "internal error",
+        };
+        write!(f, "{name} (code {})", self.code())
+    }
+}
+
+impl From<&Rejected> for ErrorCode {
+    fn from(r: &Rejected) -> Self {
+        match r {
+            Rejected::QueueFull { .. } => ErrorCode::QueueFull,
+            Rejected::TenantQuotaExceeded { .. } => ErrorCode::TenantQuotaExceeded,
+        }
+    }
+}
+
+impl From<AbortReason> for ErrorCode {
+    fn from(r: AbortReason) -> Self {
+        match r {
+            AbortReason::Cancelled => ErrorCode::Cancelled,
+            AbortReason::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            AbortReason::IoBudgetExceeded => ErrorCode::IoBudgetExceeded,
+        }
+    }
+}
+
+/// A structured failure reply. Aborted solves (codes 3–5) carry their
+/// partial counters so a shed-or-aborted query is still attributable.
+#[derive(Clone, Debug)]
+pub struct WireFault {
+    pub code: ErrorCode,
+    pub message: String,
+    /// Partial [`AlgoStats`] for in-flight aborts; `None` for requests
+    /// that never ran.
+    pub partial_stats: Option<AlgoStats>,
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// A server→client frame.
+#[derive(Clone, Debug)]
+pub enum NetResponse {
+    Hello(HelloAck),
+    Solved(SolveReply),
+    Stats(StatsReply),
+    Pong,
+    Error(WireFault),
+}
+
+// ---------------------------------------------------------------------
+// Serde impls (hand-written; the vendored shim has no derive).
+// ---------------------------------------------------------------------
+
+impl Serialize for Hello {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("tenant", self.tenant.to_value()),
+            ("version", self.version.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Hello {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Hello {
+            tenant: Deserialize::from_value(v.get("tenant")?)?,
+            version: u32::from_value(v.get("version")?)?,
+        })
+    }
+}
+
+impl Serialize for HelloAck {
+    fn to_value(&self) -> Value {
+        Value::map([("version", self.version.to_value())])
+    }
+}
+
+impl Deserialize for HelloAck {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(HelloAck {
+            version: u32::from_value(v.get("version")?)?,
+        })
+    }
+}
+
+impl Serialize for ProblemSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            ProblemSpec::Dataset(name) => {
+                Value::map([("kind", "dataset".to_value()), ("name", name.to_value())])
+            }
+            ProblemSpec::Inline {
+                providers,
+                customers,
+            } => Value::map([
+                ("kind", "inline".to_value()),
+                ("providers", providers.to_value()),
+                ("customers", customers.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for ProblemSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match String::from_value(v.get("kind")?)?.as_str() {
+            "dataset" => Ok(ProblemSpec::Dataset(String::from_value(v.get("name")?)?)),
+            "inline" => Ok(ProblemSpec::Inline {
+                providers: Deserialize::from_value(v.get("providers")?)?,
+                customers: Deserialize::from_value(v.get("customers")?)?,
+            }),
+            other => Err(Error(format!("unknown problem kind `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for SolveRequest {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("config", self.config.to_value()),
+            ("problem", self.problem.to_value()),
+            ("priority", self.priority.to_value()),
+            ("deadline", self.deadline.to_value()),
+            ("io_budget", self.io_budget.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SolveRequest {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(SolveRequest {
+            config: Deserialize::from_value(v.get("config")?)?,
+            problem: Deserialize::from_value(v.get("problem")?)?,
+            priority: Deserialize::from_value(v.get("priority")?)?,
+            deadline: Deserialize::from_value(v.get("deadline")?)?,
+            io_budget: Deserialize::from_value(v.get("io_budget")?)?,
+        })
+    }
+}
+
+impl Serialize for NetRequest {
+    fn to_value(&self) -> Value {
+        match self {
+            NetRequest::Solve(req) => {
+                Value::map([("kind", "solve".to_value()), ("request", req.to_value())])
+            }
+            NetRequest::Stats => Value::map([("kind", "stats".to_value())]),
+            NetRequest::Ping => Value::map([("kind", "ping".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for NetRequest {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match String::from_value(v.get("kind")?)?.as_str() {
+            "solve" => Ok(NetRequest::Solve(Deserialize::from_value(
+                v.get("request")?,
+            )?)),
+            "stats" => Ok(NetRequest::Stats),
+            "ping" => Ok(NetRequest::Ping),
+            other => Err(Error(format!("unknown request kind `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for SolveReply {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("matching", self.matching.to_value()),
+            ("stats", self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SolveReply {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(SolveReply {
+            matching: Deserialize::from_value(v.get("matching")?)?,
+            stats: Deserialize::from_value(v.get("stats")?)?,
+        })
+    }
+}
+
+impl Serialize for StatsReply {
+    fn to_value(&self) -> Value {
+        Value::map([("tenants", self.tenants.to_value())])
+    }
+}
+
+impl Deserialize for StatsReply {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(StatsReply {
+            tenants: Deserialize::from_value(v.get("tenants")?)?,
+        })
+    }
+}
+
+impl Serialize for ErrorCode {
+    fn to_value(&self) -> Value {
+        self.code().to_value()
+    }
+}
+
+impl Deserialize for ErrorCode {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let code = u16::from_value(v)?;
+        ErrorCode::from_code(code).ok_or_else(|| Error(format!("unknown error code {code}")))
+    }
+}
+
+impl Serialize for WireFault {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("code", self.code.to_value()),
+            ("message", self.message.to_value()),
+            ("partial_stats", self.partial_stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WireFault {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(WireFault {
+            code: Deserialize::from_value(v.get("code")?)?,
+            message: String::from_value(v.get("message")?)?,
+            partial_stats: Deserialize::from_value(v.get("partial_stats")?)?,
+        })
+    }
+}
+
+impl Serialize for NetResponse {
+    fn to_value(&self) -> Value {
+        match self {
+            NetResponse::Hello(ack) => {
+                Value::map([("kind", "hello".to_value()), ("ack", ack.to_value())])
+            }
+            NetResponse::Solved(reply) => {
+                Value::map([("kind", "solved".to_value()), ("reply", reply.to_value())])
+            }
+            NetResponse::Stats(reply) => {
+                Value::map([("kind", "stats".to_value()), ("reply", reply.to_value())])
+            }
+            NetResponse::Pong => Value::map([("kind", "pong".to_value())]),
+            NetResponse::Error(fault) => {
+                Value::map([("kind", "error".to_value()), ("fault", fault.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for NetResponse {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match String::from_value(v.get("kind")?)?.as_str() {
+            "hello" => Ok(NetResponse::Hello(Deserialize::from_value(v.get("ack")?)?)),
+            "solved" => Ok(NetResponse::Solved(Deserialize::from_value(
+                v.get("reply")?,
+            )?)),
+            "stats" => Ok(NetResponse::Stats(Deserialize::from_value(
+                v.get("reply")?,
+            )?)),
+            "pong" => Ok(NetResponse::Pong),
+            "error" => Ok(NetResponse::Error(Deserialize::from_value(
+                v.get("fault")?,
+            )?)),
+            other => Err(Error(format!("unknown response kind `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_are_distinct_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for code in ErrorCode::ALL {
+            assert!(seen.insert(code.code()), "{code:?} reuses a wire code");
+            assert_eq!(ErrorCode::from_code(code.code()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(11), None);
+    }
+
+    #[test]
+    fn every_shed_and_abort_variant_maps_to_its_own_code() {
+        use cca_storage::TenantId;
+        let codes = [
+            ErrorCode::from(&Rejected::QueueFull { capacity: 1 }),
+            ErrorCode::from(&Rejected::TenantQuotaExceeded {
+                tenant: TenantId(1),
+                queue_slots: 1,
+            }),
+            ErrorCode::from(AbortReason::Cancelled),
+            ErrorCode::from(AbortReason::DeadlineExceeded),
+            ErrorCode::from(AbortReason::IoBudgetExceeded),
+        ];
+        let distinct: std::collections::HashSet<u16> = codes.iter().map(|c| c.code()).collect();
+        assert_eq!(distinct.len(), codes.len(), "no two sources share a code");
+    }
+
+    #[test]
+    fn request_and_response_json_roundtrip() {
+        let req = NetRequest::Solve(
+            SolveRequest::new(
+                SolverConfig::new("ida").theta(8.0),
+                ProblemSpec::Inline {
+                    providers: vec![(Point::new(1.0, 2.0), 3)],
+                    customers: vec![Point::new(4.0, 5.0)],
+                },
+            )
+            .priority(Priority::High)
+            .deadline(Duration::from_millis(250))
+            .io_budget(1000),
+        );
+        let json = serde::json::to_string(&req);
+        let back: NetRequest = serde::json::from_str(&json).unwrap();
+        // The shim's Value model is ordered (BTreeMap), so equal JSON means
+        // equal message.
+        assert_eq!(serde::json::to_string(&back), json);
+
+        let resp = NetResponse::Error(WireFault {
+            code: ErrorCode::DeadlineExceeded,
+            message: "query ran 300ms past its 250ms deadline".into(),
+            partial_stats: None,
+        });
+        let json = serde::json::to_string(&resp);
+        let back: NetResponse = serde::json::from_str(&json).unwrap();
+        assert_eq!(serde::json::to_string(&back), json);
+        match back {
+            NetResponse::Error(fault) => {
+                assert_eq!(fault.code, ErrorCode::DeadlineExceeded);
+                assert!(fault.partial_stats.is_none());
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handshake_frames_roundtrip() {
+        use cca_storage::TenantId;
+        let hello = Hello::new(TenantId(42));
+        let back: Hello = serde::json::from_str(&serde::json::to_string(&hello)).unwrap();
+        assert_eq!(back, hello);
+        assert_eq!(back.version, PROTOCOL_VERSION);
+
+        let ack = HelloAck {
+            version: PROTOCOL_VERSION,
+        };
+        let back: HelloAck = serde::json::from_str(&serde::json::to_string(&ack)).unwrap();
+        assert_eq!(back, ack);
+    }
+}

@@ -1,0 +1,503 @@
+//! The gateway (protocol → serving stack) and the blocking TCP server
+//! that drives it thread-per-connection.
+//!
+//! [`Gateway`] is transport-free: it owns the persistent
+//! [`ServingInstance`], the preloaded datasets and the solver registry,
+//! and turns one [`NetRequest`] into one [`NetResponse`]. [`NetServer`]
+//! is the TCP shell around it — an accept loop spawning one blocking
+//! thread per connection, each of which performs the tenant handshake and
+//! then loops request/response over the frame codec. Embedders that want
+//! a different transport (unix sockets, an in-process harness, async)
+//! reuse [`Gateway::handle`] unchanged.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cca::{Problem, QueryResult, SpatialAssignment};
+use cca_core::solver::SolverRegistry;
+use cca_serve::{Request, ServeConfig, ServingInstance};
+use cca_storage::{QueryContext, TenantId};
+
+use crate::codec::{self, WireError, DEFAULT_MAX_FRAME};
+use crate::proto::{
+    ErrorCode, Hello, HelloAck, NetRequest, NetResponse, ProblemSpec, SolveReply, SolveRequest,
+    StatsReply, WireFault, PROTOCOL_VERSION,
+};
+
+/// Configures and starts a [`Gateway`].
+pub struct GatewayBuilder {
+    serve: ServeConfig,
+    registry: SolverRegistry,
+    datasets: Vec<(String, Arc<SpatialAssignment>)>,
+    max_frame: usize,
+}
+
+impl GatewayBuilder {
+    /// The serving configuration (workers, queue capacity, tenant quotas,
+    /// aging, rate window) for the gateway's persistent instance.
+    pub fn serve_config(mut self, config: ServeConfig) -> Self {
+        self.serve = config;
+        self
+    }
+
+    /// Replaces the solver registry.
+    pub fn registry(mut self, registry: SolverRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Preloads `data` under `name` for [`ProblemSpec::Dataset`] solves.
+    pub fn dataset(mut self, name: impl Into<String>, data: Arc<SpatialAssignment>) -> Self {
+        self.datasets.push((name.into(), data));
+        self
+    }
+
+    /// Per-frame size bound for the gateway's connections.
+    pub fn max_frame(mut self, max: usize) -> Self {
+        assert!(max >= 64, "frames must at least fit a handshake");
+        self.max_frame = max;
+        self
+    }
+
+    /// Starts the serving instance and returns the gateway.
+    pub fn start(self) -> Gateway {
+        Gateway {
+            instance: ServingInstance::start(self.serve),
+            registry: self.registry,
+            datasets: self.datasets.into_iter().collect(),
+            max_frame: self.max_frame,
+        }
+    }
+}
+
+/// The protocol engine over a persistent [`ServingInstance`]: maps typed
+/// requests to scheduler submissions and outcomes (including every shed
+/// and abort) to typed responses.
+pub struct Gateway {
+    instance: ServingInstance<QueryResult>,
+    registry: SolverRegistry,
+    datasets: HashMap<String, Arc<SpatialAssignment>>,
+    max_frame: usize,
+}
+
+impl Gateway {
+    /// A builder with default serving config, the default registry, no
+    /// datasets and the default frame bound.
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder {
+            serve: ServeConfig::default(),
+            registry: SolverRegistry::with_defaults(),
+            datasets: Vec::new(),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// The underlying serving instance — shared with any other submitter
+    /// (e.g. a [`cca::BatchRunner`] running batches through
+    /// `run_on(gateway.instance(), ..)` alongside network traffic).
+    pub fn instance(&self) -> &ServingInstance<QueryResult> {
+        &self.instance
+    }
+
+    /// The per-frame size bound connections should enforce.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Handles one request from `tenant`, blocking until the outcome is
+    /// known. Every failure path returns a typed [`NetResponse::Error`].
+    pub fn handle(&self, tenant: TenantId, request: NetRequest) -> NetResponse {
+        match request {
+            NetRequest::Ping => NetResponse::Pong,
+            NetRequest::Stats => NetResponse::Stats(StatsReply {
+                tenants: self.instance.tenant_stats(),
+            }),
+            NetRequest::Solve(req) => self.solve(tenant, req),
+        }
+    }
+
+    fn solve(&self, tenant: TenantId, req: SolveRequest) -> NetResponse {
+        // Validate before burning a queue slot: a bad solver name or
+        // dataset must not count against the tenant's quota.
+        let solver = match self.registry.build(&req.config) {
+            Ok(solver) => solver,
+            Err(e) => return fault(ErrorCode::UnknownSolver, e.to_string()),
+        };
+
+        let mut ctx = QueryContext::new()
+            .with_tenant(tenant)
+            .with_priority(req.priority);
+        if let Some(deadline) = req.deadline {
+            ctx = ctx.with_timeout(deadline);
+        }
+        if let Some(faults) = req.io_budget {
+            ctx = ctx.with_io_budget(faults);
+        }
+
+        let config = req.config;
+        let label = solver.label();
+        let work: Box<dyn FnOnce(&QueryContext) -> QueryResult + Send> = match req.problem {
+            ProblemSpec::Dataset(name) => {
+                let Some(data) = self.datasets.get(&name) else {
+                    return fault(ErrorCode::UnknownDataset, format!("no dataset `{name}`"));
+                };
+                let data = Arc::clone(data);
+                Box::new(move |ctx: &QueryContext| {
+                    let problem = data.problem().with_context(ctx);
+                    let outcome = solver.run(&problem);
+                    let aborted = outcome.abort_reason();
+                    let (matching, stats) = outcome.into_parts();
+                    QueryResult {
+                        index: 0,
+                        label,
+                        config,
+                        matching,
+                        stats,
+                        aborted,
+                    }
+                })
+            }
+            ProblemSpec::Inline {
+                providers,
+                customers,
+            } => Box::new(move |ctx: &QueryContext| {
+                let problem = Problem::new(&providers)
+                    .with_customers(&customers)
+                    .with_context(ctx);
+                let outcome = solver.run(&problem);
+                let aborted = outcome.abort_reason();
+                let (matching, stats) = outcome.into_parts();
+                QueryResult {
+                    index: 0,
+                    label,
+                    config,
+                    matching,
+                    stats,
+                    aborted,
+                }
+            }),
+        };
+
+        let ticket = match self.instance.submit(Request::new(work).context(ctx)) {
+            Ok(ticket) => ticket,
+            // Admission shedding → its own wire code per variant.
+            Err(rejected) => return fault(ErrorCode::from(&rejected), rejected.to_string()),
+        };
+        let result = match catch_unwind(AssertUnwindSafe(move || ticket.wait())) {
+            Ok(result) => result,
+            Err(_) => return fault(ErrorCode::Internal, "query execution panicked"),
+        };
+        match result.aborted {
+            // In-flight aborts → their own codes, with the partial
+            // counters attached (the run's exact attributed I/O).
+            Some(reason) => NetResponse::Error(WireFault {
+                code: ErrorCode::from(reason),
+                message: reason.to_string(),
+                partial_stats: Some(result.stats),
+            }),
+            None => NetResponse::Solved(SolveReply {
+                matching: result.matching,
+                stats: result.stats,
+            }),
+        }
+    }
+}
+
+fn fault(code: ErrorCode, message: impl Into<String>) -> NetResponse {
+    NetResponse::Error(WireFault {
+        code,
+        message: message.into(),
+        partial_stats: None,
+    })
+}
+
+/// A blocking thread-per-connection TCP front-end over a [`Gateway`].
+///
+/// Binding spawns an accept-loop thread; each accepted connection gets its
+/// own thread that handshakes ([`Hello`] / [`HelloAck`]) and then serves
+/// the request/response loop. [`NetServer::shutdown`] (or drop) stops
+/// accepting, shuts every live connection's socket down and joins all
+/// threads.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+}
+
+struct ConnHandle {
+    stream: TcpStream,
+    thread: JoinHandle<()>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port, then
+    /// [`NetServer::local_addr`]) and starts serving `gateway`.
+    pub fn bind(addr: impl ToSocketAddrs, gateway: Arc<Gateway>) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::default();
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("cca-net-accept".into())
+                .spawn(move || accept_loop(listener, gateway, stop, conns))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects every live connection and joins all
+    /// server threads. In-flight requests on those connections finish or
+    /// fail their reply write; queued work in the gateway's instance is
+    /// unaffected (the instance outlives its front-ends).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for conn in conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            let _ = conn.thread.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    gateway: Arc<Gateway>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Keep a raw clone so shutdown can sever the socket under the
+        // connection thread and join it.
+        let Ok(raw) = stream.try_clone() else {
+            continue;
+        };
+        let gateway = Arc::clone(&gateway);
+        let thread = std::thread::Builder::new()
+            .name("cca-net-conn".into())
+            .spawn(move || serve_connection(gateway, stream))
+            .expect("spawn connection thread");
+        conns.lock().expect("conns lock").push(ConnHandle {
+            stream: raw,
+            thread,
+        });
+    }
+}
+
+/// One connection's lifetime: handshake, then frames until the peer
+/// closes, the stream dies, or framing desynchronises.
+fn serve_connection(gateway: Arc<Gateway>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    connection_loop(&gateway, &mut reader, &mut writer);
+    // The accept loop retains its own clone of this socket (so shutdown
+    // can sever blocked connections), which keeps the connection open
+    // past this thread's exit. Shut the socket down explicitly or the
+    // peer would never observe EOF. Every reply was flushed frame-by-
+    // frame, so nothing is lost.
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+}
+
+fn connection_loop(
+    gateway: &Gateway,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) {
+    let max = gateway.max_frame();
+
+    // Handshake: the first frame must be a `Hello` naming the tenant.
+    let hello: Hello = match codec::recv_message(reader, max) {
+        Ok(Some(hello)) => hello,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = send_wire_fault(writer, &e, max);
+            return;
+        }
+    };
+    if hello.version != PROTOCOL_VERSION {
+        let _ = codec::send_message(
+            writer,
+            &fault(
+                ErrorCode::VersionMismatch,
+                format!(
+                    "client speaks protocol v{}, server speaks v{PROTOCOL_VERSION}",
+                    hello.version
+                ),
+            ),
+            max,
+        );
+        return;
+    }
+    if codec::send_message(
+        writer,
+        &NetResponse::Hello(HelloAck {
+            version: PROTOCOL_VERSION,
+        }),
+        max,
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    loop {
+        let request: NetRequest = match codec::recv_message(reader, max) {
+            Ok(Some(request)) => request,
+            // Clean close at a frame boundary: the client is done.
+            Ok(None) => return,
+            // The frame arrived whole but didn't decode — framing is still
+            // in sync, so answer with a typed error and keep serving.
+            Err(WireError::Malformed(msg)) => {
+                if codec::send_message(writer, &fault(ErrorCode::BadRequest, msg), max).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // Oversized length prefix, truncation, transport death: the
+            // byte stream cannot be trusted any further.
+            Err(e) => {
+                let _ = send_wire_fault(writer, &e, max);
+                return;
+            }
+        };
+        let response = gateway.handle(hello.tenant, request);
+        if codec::send_message(writer, &response, max).is_err() {
+            return;
+        }
+    }
+}
+
+/// Best-effort typed goodbye for codec-level failures before closing.
+fn send_wire_fault(
+    writer: &mut impl io::Write,
+    error: &WireError,
+    max: usize,
+) -> Result<(), WireError> {
+    codec::send_message(
+        writer,
+        &fault(ErrorCode::BadRequest, error.to_string()),
+        max,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_core::SolverConfig;
+    use cca_geo::Point;
+
+    fn tiny_gateway() -> Gateway {
+        Gateway::builder()
+            .serve_config(ServeConfig::default().workers(1).queue_capacity(4))
+            .start()
+    }
+
+    #[test]
+    fn gateway_solves_an_inline_problem_without_any_transport() {
+        let gateway = tiny_gateway();
+        let request = NetRequest::Solve(SolveRequest::new(
+            SolverConfig::new("sspa"),
+            ProblemSpec::Inline {
+                providers: vec![(Point::new(0.0, 0.0), 2), (Point::new(10.0, 0.0), 2)],
+                customers: vec![
+                    Point::new(1.0, 0.0),
+                    Point::new(2.0, 0.0),
+                    Point::new(9.0, 0.0),
+                ],
+            },
+        ));
+        match gateway.handle(TenantId(1), request) {
+            NetResponse::Solved(reply) => {
+                assert_eq!(reply.matching.size(), 3, "all customers assigned");
+            }
+            other => panic!("expected a solve reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_solver_and_dataset_fail_without_burning_quota() {
+        let gateway = tiny_gateway();
+        let inline = ProblemSpec::Inline {
+            providers: vec![(Point::new(0.0, 0.0), 1)],
+            customers: vec![Point::new(1.0, 0.0)],
+        };
+        let r = gateway.handle(
+            TenantId(1),
+            NetRequest::Solve(SolveRequest::new(
+                SolverConfig::new("no-such-solver"),
+                inline,
+            )),
+        );
+        match r {
+            NetResponse::Error(fault) => assert_eq!(fault.code, ErrorCode::UnknownSolver),
+            other => panic!("expected unknown-solver, got {other:?}"),
+        }
+        let r = gateway.handle(
+            TenantId(1),
+            NetRequest::Solve(SolveRequest::new(
+                SolverConfig::new("sspa"),
+                ProblemSpec::Dataset("not-loaded".into()),
+            )),
+        );
+        match r {
+            NetResponse::Error(fault) => assert_eq!(fault.code, ErrorCode::UnknownDataset),
+            other => panic!("expected unknown-dataset, got {other:?}"),
+        }
+        // Neither request should have registered with the scheduler.
+        assert!(gateway.instance().tenant_stats().is_empty());
+    }
+
+    #[test]
+    fn ping_and_stats_answer_without_solving() {
+        let gateway = tiny_gateway();
+        assert!(matches!(
+            gateway.handle(TenantId(1), NetRequest::Ping),
+            NetResponse::Pong
+        ));
+        match gateway.handle(TenantId(1), NetRequest::Stats) {
+            NetResponse::Stats(reply) => assert!(reply.tenants.is_empty()),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

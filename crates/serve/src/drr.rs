@@ -27,6 +27,7 @@ use std::time::Duration;
 use cca_storage::{IoStats, Priority, TenantId};
 
 use crate::queue::AgingQueue;
+use crate::rate::RateMeter;
 
 /// Per-tenant scheduling weight and admission quotas.
 ///
@@ -133,6 +134,10 @@ pub struct TenantStats {
     pub total_latency: Duration,
     /// Worst submit→finish latency seen.
     pub max_latency: Duration,
+    /// Offered submission rate (requests/s, admitted *and* shed) averaged
+    /// over the scheduler's sliding `rate_window` — the load the tenant is
+    /// putting on the admission queue right now.
+    pub qps: f64,
 }
 
 impl TenantStats {
@@ -171,10 +176,11 @@ struct TenantState<T> {
     io: IoStats,
     total_latency: Duration,
     max_latency: Duration,
+    meter: RateMeter,
 }
 
 impl<T> TenantState<T> {
-    fn new(quota: TenantQuota, aging_period: u32) -> Self {
+    fn new(quota: TenantQuota, aging_period: u32, rate_window: Duration) -> Self {
         TenantState {
             // The per-tenant AgingQueue bound is the tenant's own quota;
             // the global capacity is enforced by the DrrQueue.
@@ -191,6 +197,7 @@ impl<T> TenantState<T> {
             io: IoStats::default(),
             total_latency: Duration::ZERO,
             max_latency: Duration::ZERO,
+            meter: RateMeter::new(rate_window),
         }
     }
 
@@ -209,6 +216,7 @@ impl<T> TenantState<T> {
             io: self.io,
             total_latency: self.total_latency,
             max_latency: self.max_latency,
+            qps: self.meter.rate(),
         }
     }
 }
@@ -224,6 +232,7 @@ pub(crate) struct DrrQueue<T> {
     capacity: usize,
     aging_period: u32,
     default_quota: TenantQuota,
+    rate_window: Duration,
 }
 
 impl<T> DrrQueue<T> {
@@ -232,6 +241,7 @@ impl<T> DrrQueue<T> {
         aging_period: u32,
         default_quota: TenantQuota,
         quotas: &[(TenantId, TenantQuota)],
+        rate_window: Duration,
     ) -> Self {
         let mut q = DrrQueue {
             tenants: HashMap::new(),
@@ -240,12 +250,13 @@ impl<T> DrrQueue<T> {
             capacity,
             aging_period,
             default_quota,
+            rate_window,
         };
         // Pre-seed configured tenants so their weights/quotas apply from
         // the first submit and they appear in stats snapshots immediately.
         for &(tenant, quota) in quotas {
             q.tenants
-                .insert(tenant, TenantState::new(quota, aging_period));
+                .insert(tenant, TenantState::new(quota, aging_period, rate_window));
         }
         q
     }
@@ -268,10 +279,10 @@ impl<T> DrrQueue<T> {
     }
 
     fn tenant_mut(&mut self, tenant: TenantId) -> &mut TenantState<T> {
-        let (aging, quota) = (self.aging_period, self.default_quota);
+        let (aging, quota, window) = (self.aging_period, self.default_quota, self.rate_window);
         self.tenants
             .entry(tenant)
-            .or_insert_with(|| TenantState::new(quota, aging))
+            .or_insert_with(|| TenantState::new(quota, aging, window))
     }
 
     /// Admits `item` for `tenant` at `priority`, or refuses it with the
@@ -294,6 +305,11 @@ impl<T> DrrQueue<T> {
             });
         }
         let state = self.tenant_mut(tenant);
+        // Meter the *offer*, not just the admission: shed traffic is
+        // exactly what a quota-sizing operator needs to see. (The
+        // never-admitted-tenant rejection above stays unmetered by design —
+        // no state may be allocated for it.)
+        state.meter.record();
         if state.queue.len() >= state.quota.queue_slots {
             state.rejected += 1;
             return Err(PushError::TenantQuota {
@@ -431,7 +447,13 @@ mod tests {
     use super::*;
 
     fn drr(capacity: usize, quotas: &[(TenantId, TenantQuota)]) -> DrrQueue<&'static str> {
-        DrrQueue::new(capacity, 0, TenantQuota::default(), quotas)
+        DrrQueue::new(
+            capacity,
+            0,
+            TenantQuota::default(),
+            quotas,
+            Duration::from_secs(10),
+        )
     }
 
     const A: TenantId = TenantId(1);
@@ -566,7 +588,7 @@ mod tests {
     fn priority_and_aging_survive_within_a_tenant() {
         // Within one tenant the level-2 queue is the PR 4 AgingQueue:
         // highest priority first, FIFO within a level.
-        let mut q = DrrQueue::new(64, 0, TenantQuota::default(), &[]);
+        let mut q = DrrQueue::new(64, 0, TenantQuota::default(), &[], Duration::from_secs(10));
         q.push(A, Priority::Low, "low").unwrap();
         q.push(A, Priority::Critical, "crit").unwrap();
         q.push(A, Priority::Normal, "norm").unwrap();
@@ -628,6 +650,20 @@ mod tests {
         assert_eq!(s.max_latency, Duration::from_millis(30));
         assert_eq!(s.mean_latency(), Duration::from_millis(20));
         assert_eq!(s.in_flight, 0);
+        // Both submissions landed inside the 10 s window just now.
+        assert_eq!(s.qps, 0.2);
+    }
+
+    #[test]
+    fn qps_meters_offered_load_including_shed_submissions() {
+        let quotas = [(A, TenantQuota::default().queue_slots(1))];
+        let mut q = drr(64, &quotas);
+        q.push(A, Priority::Normal, "in").unwrap();
+        assert!(q.push(A, Priority::Normal, "shed").is_err());
+        let s = q.tenant_stats_for(A).unwrap();
+        // 2 offers (1 admitted + 1 shed) over the 10 s window.
+        assert_eq!(s.qps, 0.2);
+        assert!(q.tenant_stats_for(B).is_none());
     }
 
     #[test]

@@ -23,15 +23,21 @@
 //!
 //! * [`serve`] — runs a scoped worker pool; requests may borrow the shared
 //!   instance from the caller's stack (no `'static` bound),
+//! * [`ServingInstance`] — the *owned* counterpart: a long-lived scheduler
+//!   whose workers and cumulative [`TenantStats`] outlive any one batch or
+//!   connection (the serving core a network gateway runs on), with
+//!   [`ServingInstance::scope`] re-creating the borrowed ergonomics on the
+//!   shared instance,
 //! * [`ServeHandle::submit`] — admission: returns a [`Ticket`] or sheds
 //!   the request with [`Rejected::QueueFull`] /
 //!   [`Rejected::TenantQuotaExceeded`],
-//! * [`Ticket`] — await / poll / cancel one query (cancelling a queued
-//!   query releases its admission slot immediately),
+//! * [`Ticket`] / [`OwnedTicket`] — await / poll / cancel one query
+//!   (cancelling a queued query releases its admission slot immediately),
 //! * [`ServeHandle::tenant_stats`] — operator snapshots: per-tenant
-//!   dispatch/abort counters, cumulative attributed I/O, latency,
+//!   dispatch/abort counters, cumulative attributed I/O, latency, and a
+//!   sliding-window submission rate ([`TenantStats::qps`]),
 //! * [`ServeConfig`] — workers, queue capacity, aging period, tenant
-//!   weights and quotas.
+//!   weights and quotas, QPS window.
 //!
 //! ```
 //! use cca_serve::{serve, Priority, QueryContext, Request, ServeConfig, TenantId, TenantQuota};
@@ -59,10 +65,15 @@
 //! instance, quota shedding included.
 
 mod drr;
+mod instance;
 pub mod queue;
+mod rate;
 pub mod scheduler;
+#[cfg(feature = "serde")]
+mod serde_impls;
 
 pub use cca_storage::{AbortReason, Aborted, IoStats, Priority, QueryContext, TenantId};
 pub use drr::{TenantQuota, TenantStats};
+pub use instance::{InstanceScope, OwnedTicket, ServingInstance};
 pub use queue::AgingQueue;
 pub use scheduler::{serve, Rejected, Request, ServeConfig, ServeHandle, Ticket};

@@ -1,0 +1,122 @@
+//! [`RateMeter`] — a sliding-window request-rate meter.
+//!
+//! The scheduler keeps one per tenant and records every submission the
+//! tenant *offers* (admitted or shed against its own state), so
+//! [`crate::TenantStats::qps`] reports offered load over the last
+//! `rate_window` seconds — the number an operator sizes quotas against.
+//! Time is bucketed per whole second: recording touches at most one bucket
+//! and pruning keeps the deque at `window + 1` entries, so the meter is
+//! O(1) amortised and safe to drive under the scheduler lock.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+pub(crate) struct RateMeter {
+    /// Fixed reference point; bucket indices are whole seconds since it.
+    origin: Instant,
+    /// Window width in whole seconds (≥ 1).
+    window_secs: u64,
+    /// `(second index, events in that second)`, oldest first; only seconds
+    /// with at least one event get a bucket.
+    buckets: VecDeque<(u64, u64)>,
+}
+
+impl RateMeter {
+    pub(crate) fn new(window: Duration) -> Self {
+        RateMeter {
+            origin: Instant::now(),
+            window_secs: window.as_secs().max(1),
+            buckets: VecDeque::new(),
+        }
+    }
+
+    fn sec_index(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.origin).as_secs()
+    }
+
+    /// Counts one event at `now`.
+    pub(crate) fn record_at(&mut self, now: Instant) {
+        let sec = self.sec_index(now);
+        // Drop buckets that fell out of the window ending at `sec`.
+        let keep_from = sec.saturating_sub(self.window_secs);
+        while self.buckets.front().is_some_and(|&(s, _)| s < keep_from) {
+            self.buckets.pop_front();
+        }
+        match self.buckets.back_mut() {
+            Some((s, n)) if *s == sec => *n += 1,
+            _ => self.buckets.push_back((sec, 1)),
+        }
+    }
+
+    pub(crate) fn record(&mut self) {
+        self.record_at(Instant::now());
+    }
+
+    /// Events per second over the window ending at `now`: the count of the
+    /// last `window` whole-second buckets (current partial second
+    /// included) divided by the window width.
+    pub(crate) fn rate_at(&self, now: Instant) -> f64 {
+        let sec = self.sec_index(now);
+        let from = (sec + 1).saturating_sub(self.window_secs);
+        let events: u64 = self
+            .buckets
+            .iter()
+            .filter(|&&(s, _)| s >= from && s <= sec)
+            .map(|&(_, n)| n)
+            .sum();
+        events as f64 / self.window_secs as f64
+    }
+
+    pub(crate) fn rate(&self) -> f64 {
+        self.rate_at(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(meter: &RateMeter, secs: u64) -> Instant {
+        meter.origin + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn counts_within_the_window() {
+        let mut m = RateMeter::new(Duration::from_secs(10));
+        for _ in 0..5 {
+            m.record_at(at(&m, 0));
+        }
+        for _ in 0..5 {
+            m.record_at(at(&m, 3));
+        }
+        assert_eq!(m.rate_at(at(&m, 3)), 1.0, "10 events / 10 s window");
+    }
+
+    #[test]
+    fn old_events_fall_out_of_the_window() {
+        let mut m = RateMeter::new(Duration::from_secs(5));
+        for _ in 0..10 {
+            m.record_at(at(&m, 0));
+        }
+        assert_eq!(m.rate_at(at(&m, 0)), 2.0);
+        assert_eq!(m.rate_at(at(&m, 4)), 2.0, "second 0 still in [0, 4]");
+        assert_eq!(m.rate_at(at(&m, 5)), 0.0, "window [1, 5] excludes them");
+    }
+
+    #[test]
+    fn pruning_bounds_the_bucket_count() {
+        let mut m = RateMeter::new(Duration::from_secs(3));
+        for s in 0..100 {
+            m.record_at(at(&m, s));
+        }
+        assert!(m.buckets.len() <= 4, "window + 1 buckets at most");
+        assert_eq!(m.rate_at(at(&m, 99)), 1.0);
+    }
+
+    #[test]
+    fn sub_second_windows_round_up_to_one_second() {
+        let mut m = RateMeter::new(Duration::from_millis(10));
+        m.record_at(at(&m, 0));
+        assert_eq!(m.rate_at(at(&m, 0)), 1.0);
+    }
+}

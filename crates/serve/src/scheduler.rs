@@ -3,7 +3,7 @@
 //! for callers, explicit load shedding at admission.
 
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cca_storage::{Priority, QueryContext, TenantId};
 
@@ -29,6 +29,10 @@ pub struct ServeConfig {
     pub default_quota: TenantQuota,
     /// Per-tenant overrides of weight / queue slots / in-flight cap.
     pub quotas: Vec<(TenantId, TenantQuota)>,
+    /// Width of the sliding window behind [`TenantStats::qps`]: each
+    /// tenant's submission rate is averaged over the last `rate_window`
+    /// seconds (whole seconds; at least one).
+    pub rate_window: Duration,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +45,7 @@ impl Default for ServeConfig {
             aging_period: 8,
             default_quota: TenantQuota::default(),
             quotas: Vec::new(),
+            rate_window: Duration::from_secs(10),
         }
     }
 }
@@ -79,6 +84,16 @@ impl ServeConfig {
         } else {
             self.quotas.push((tenant, quota));
         }
+        self
+    }
+
+    /// Sets the QPS sliding-window width (≥ 1 s; whole seconds).
+    pub fn rate_window(mut self, window: Duration) -> Self {
+        assert!(
+            window >= Duration::from_secs(1),
+            "rate window of at least one second"
+        );
+        self.rate_window = window;
         self
     }
 }
@@ -120,13 +135,13 @@ impl std::fmt::Display for Rejected {
 
 impl std::error::Error for Rejected {}
 
-type Work<'env, T> = Box<dyn FnOnce(&QueryContext) -> T + Send + 'env>;
+pub(crate) type Work<'env, T> = Box<dyn FnOnce(&QueryContext) -> T + Send + 'env>;
 
 /// One query submission: the work closure plus its [`QueryContext`]
 /// (tenant, priority, deadline, I/O budget, cancellation).
 pub struct Request<'env, T> {
-    ctx: QueryContext,
-    work: Work<'env, T>,
+    pub(crate) ctx: QueryContext,
+    pub(crate) work: Work<'env, T>,
 }
 
 impl<'env, T> Request<'env, T> {
@@ -160,7 +175,7 @@ impl<'env, T> Request<'env, T> {
 /// Completion state of one submitted query. Distinguishing `Taken` and
 /// `Panicked` from `Pending` keeps [`Ticket::wait`] from blocking forever
 /// on a slot that will never be (re)filled.
-enum Slot<T> {
+pub(crate) enum Slot<T> {
     /// Not finished yet.
     Pending,
     /// Finished; result not yet claimed.
@@ -171,8 +186,10 @@ enum Slot<T> {
     Panicked(Box<dyn std::any::Any + Send>),
 }
 
-/// Completion cell shared between a running job and its [`Ticket`].
-struct TicketCell<T> {
+/// Completion cell shared between a running job and its ticket
+/// ([`Ticket`] in a scoped [`serve`], `OwnedTicket` on a
+/// [`crate::ServingInstance`]).
+pub(crate) struct TicketCell<T> {
     slot: Mutex<Slot<T>>,
     done: Condvar,
 }
@@ -189,15 +206,65 @@ impl<T> TicketCell<T> {
         self.slot.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn fill(&self, slot: Slot<T>) {
+    pub(crate) fn fill(&self, slot: Slot<T>) {
         *self.lock() = slot;
         self.done.notify_all();
+    }
+
+    /// Blocks until the cell resolves and claims the result; re-raises the
+    /// closure's panic; panics if the result was already claimed.
+    pub(crate) fn wait_take(&self) -> T {
+        let mut slot = self.lock();
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Pending) {
+                Slot::Done(result) => {
+                    *slot = Slot::Taken;
+                    return result;
+                }
+                Slot::Panicked(payload) => {
+                    *slot = Slot::Taken;
+                    drop(slot);
+                    std::panic::resume_unwind(payload);
+                }
+                Slot::Taken => panic!("ticket result already taken"),
+                Slot::Pending => {
+                    slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Claims the result if resolved (`None` while pending or after it was
+    /// taken); re-raises the closure's panic.
+    pub(crate) fn try_take(&self) -> Option<T> {
+        let mut slot = self.lock();
+        match std::mem::replace(&mut *slot, Slot::Pending) {
+            Slot::Done(result) => {
+                *slot = Slot::Taken;
+                Some(result)
+            }
+            Slot::Panicked(payload) => {
+                *slot = Slot::Taken;
+                drop(slot);
+                std::panic::resume_unwind(payload);
+            }
+            Slot::Taken => {
+                *slot = Slot::Taken;
+                None
+            }
+            Slot::Pending => None,
+        }
+    }
+
+    /// True once the cell resolved (stays true after the result is taken).
+    pub(crate) fn is_done(&self) -> bool {
+        !matches!(*self.lock(), Slot::Pending)
     }
 }
 
 /// Runs a job's closure under its context and resolves its ticket cell,
 /// catching a panicking closure so the waiter never blocks forever.
-fn run_job<T>(job: Job<'_, T>) {
+pub(crate) fn run_job<T>(job: Job<'_, T>) {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.work)(&job.ctx)));
     match result {
         Ok(value) => job.cell.fill(Slot::Done(value)),
@@ -222,24 +289,7 @@ impl<T> Ticket<'_, '_, T> {
     /// Re-raises the query closure's panic, if it panicked; panics if the
     /// result was already claimed via [`Ticket::try_take`].
     pub fn wait(self) -> T {
-        let mut slot = self.cell.lock();
-        loop {
-            match std::mem::replace(&mut *slot, Slot::Pending) {
-                Slot::Done(result) => {
-                    *slot = Slot::Taken;
-                    return result;
-                }
-                Slot::Panicked(payload) => {
-                    *slot = Slot::Taken;
-                    drop(slot);
-                    std::panic::resume_unwind(payload);
-                }
-                Slot::Taken => panic!("ticket result already taken"),
-                Slot::Pending => {
-                    slot = self.cell.done.wait(slot).unwrap_or_else(|e| e.into_inner());
-                }
-            }
-        }
+        self.cell.wait_take()
     }
 
     /// Takes the result if the query already finished (`None` while it is
@@ -248,29 +298,13 @@ impl<T> Ticket<'_, '_, T> {
     /// # Panics
     /// Re-raises the query closure's panic, if it panicked.
     pub fn try_take(&self) -> Option<T> {
-        let mut slot = self.cell.lock();
-        match std::mem::replace(&mut *slot, Slot::Pending) {
-            Slot::Done(result) => {
-                *slot = Slot::Taken;
-                Some(result)
-            }
-            Slot::Panicked(payload) => {
-                *slot = Slot::Taken;
-                drop(slot);
-                std::panic::resume_unwind(payload);
-            }
-            Slot::Taken => {
-                *slot = Slot::Taken;
-                None
-            }
-            Slot::Pending => None,
-        }
+        self.cell.try_take()
     }
 
     /// True once the query finished (it stays true after the result is
     /// taken).
     pub fn is_done(&self) -> bool {
-        !matches!(*self.cell.lock(), Slot::Pending)
+        self.cell.is_done()
     }
 
     /// Requests cooperative cancellation of the query.
@@ -283,16 +317,7 @@ impl<T> Ticket<'_, '_, T> {
     /// result. A *running* query aborts at its next context poll. Either
     /// way, [`Ticket::wait`] still returns the (partial) result.
     pub fn cancel(&self) {
-        self.ctx.cancel();
-        let withdrawn = {
-            let mut state = self.shared.lock();
-            state
-                .queue
-                .remove_queued(self.tenant, |job| job.seq == self.seq)
-        };
-        if let Some(job) = withdrawn {
-            run_job(job);
-        }
+        cancel_on(self.shared, &self.ctx, self.tenant, self.seq);
     }
 
     /// The query's context (for inspecting attribution mid-flight).
@@ -301,29 +326,117 @@ impl<T> Ticket<'_, '_, T> {
     }
 }
 
-struct Job<'env, T> {
+pub(crate) struct Job<'env, T> {
     /// Scheduler-unique id, so a cancel can withdraw exactly this entry.
-    seq: u64,
-    ctx: QueryContext,
-    cell: Arc<TicketCell<T>>,
-    work: Work<'env, T>,
-    submitted_at: Instant,
+    pub(crate) seq: u64,
+    pub(crate) ctx: QueryContext,
+    pub(crate) cell: Arc<TicketCell<T>>,
+    pub(crate) work: Work<'env, T>,
+    pub(crate) submitted_at: Instant,
 }
 
-struct State<'env, T> {
-    queue: DrrQueue<Job<'env, T>>,
-    next_seq: u64,
-    shutdown: bool,
+pub(crate) struct State<'env, T> {
+    pub(crate) queue: DrrQueue<Job<'env, T>>,
+    pub(crate) next_seq: u64,
+    pub(crate) shutdown: bool,
 }
 
-struct Shared<'env, T> {
-    state: Mutex<State<'env, T>>,
-    work_ready: Condvar,
+pub(crate) struct Shared<'env, T> {
+    pub(crate) state: Mutex<State<'env, T>>,
+    pub(crate) work_ready: Condvar,
 }
 
 impl<'env, T> Shared<'env, T> {
-    fn lock(&self) -> MutexGuard<'_, State<'env, T>> {
+    pub(crate) fn new(config: &ServeConfig) -> Self {
+        assert!(config.workers >= 1, "at least one worker");
+        assert!(config.queue_capacity >= 1, "capacity of at least one");
+        Shared {
+            state: Mutex::new(State {
+                queue: DrrQueue::new(
+                    config.queue_capacity,
+                    config.aging_period,
+                    config.default_quota,
+                    &config.quotas,
+                    config.rate_window,
+                ),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State<'env, T>> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// What [`submit_to`] hands back for an admitted request: everything a
+/// ticket (borrowing or owned) needs on top of its scheduler handle.
+pub(crate) struct Admitted<T> {
+    pub(crate) cell: Arc<TicketCell<T>>,
+    pub(crate) ctx: QueryContext,
+    pub(crate) tenant: TenantId,
+    pub(crate) seq: u64,
+}
+
+/// The one admission path: allocates the seq and ticket cell, pushes the
+/// job through the DRR queue's quota checks, and wakes a worker — or sheds
+/// the request (the job is dropped, no ticket is created). Shared by the
+/// scoped [`ServeHandle`] and the owned [`crate::ServingInstance`].
+pub(crate) fn submit_to<'env, T: Send>(
+    shared: &Shared<'env, T>,
+    request: Request<'env, T>,
+) -> Result<Admitted<T>, Rejected> {
+    let Request { ctx, work } = request;
+    let cell = Arc::new(TicketCell::new());
+    let tenant = ctx.tenant();
+    let priority = ctx.priority();
+    let mut state = shared.lock();
+    let seq = state.next_seq;
+    state.next_seq += 1;
+    let job = Job {
+        seq,
+        ctx: ctx.clone(),
+        cell: Arc::clone(&cell),
+        work,
+        submitted_at: Instant::now(),
+    };
+    match state.queue.push(tenant, priority, job) {
+        Ok(()) => {
+            debug_assert!(state.queue.len() <= state.queue.capacity());
+            drop(state);
+            shared.work_ready.notify_one();
+            Ok(Admitted {
+                cell,
+                ctx,
+                tenant,
+                seq,
+            })
+        }
+        Err(PushError::TenantQuota {
+            tenant,
+            queue_slots,
+        }) => Err(Rejected::TenantQuotaExceeded {
+            tenant,
+            queue_slots,
+        }),
+        Err(PushError::Full { capacity }) => Err(Rejected::QueueFull { capacity }),
+    }
+}
+
+/// The one cancellation path (shared by both ticket kinds): flags the
+/// context, and if the job is still queued withdraws it — releasing its
+/// admission slot immediately — and runs it on the cancelling thread,
+/// where its first context poll unwinds with the partial result.
+pub(crate) fn cancel_on<T>(shared: &Shared<'_, T>, ctx: &QueryContext, tenant: TenantId, seq: u64) {
+    ctx.cancel();
+    let withdrawn = {
+        let mut state = shared.lock();
+        state.queue.remove_queued(tenant, |job| job.seq == seq)
+    };
+    if let Some(job) = withdrawn {
+        run_job(job);
     }
 }
 
@@ -338,42 +451,19 @@ impl<'a, 'env, T: Send> ServeHandle<'a, 'env, T> {
     /// when the submitting tenant's own queue-slot quota is exhausted,
     /// [`Rejected::QueueFull`] when the shared backlog is at capacity.
     pub fn submit(&self, request: Request<'env, T>) -> Result<Ticket<'a, 'env, T>, Rejected> {
-        let Request { ctx, work } = request;
-        let cell = Arc::new(TicketCell::new());
-        let tenant = ctx.tenant();
-        let priority = ctx.priority();
-        let mut state = self.shared.lock();
-        let seq = state.next_seq;
-        state.next_seq += 1;
-        let job = Job {
+        let Admitted {
+            cell,
+            ctx,
+            tenant,
             seq,
-            ctx: ctx.clone(),
-            cell: Arc::clone(&cell),
-            work,
-            submitted_at: Instant::now(),
-        };
-        match state.queue.push(tenant, priority, job) {
-            Ok(()) => {
-                debug_assert!(state.queue.len() <= state.queue.capacity());
-                drop(state);
-                self.shared.work_ready.notify_one();
-                Ok(Ticket {
-                    cell,
-                    ctx,
-                    tenant,
-                    seq,
-                    shared: self.shared,
-                })
-            }
-            Err(PushError::TenantQuota {
-                tenant,
-                queue_slots,
-            }) => Err(Rejected::TenantQuotaExceeded {
-                tenant,
-                queue_slots,
-            }),
-            Err(PushError::Full { capacity }) => Err(Rejected::QueueFull { capacity }),
-        }
+        } = submit_to(self.shared, request)?;
+        Ok(Ticket {
+            cell,
+            ctx,
+            tenant,
+            seq,
+            shared: self.shared,
+        })
     }
 
     /// Requests currently queued (admitted, not yet dispatched), across
@@ -395,7 +485,7 @@ impl<'a, 'env, T: Send> ServeHandle<'a, 'env, T> {
     }
 }
 
-fn worker<T: Send>(shared: &Shared<'_, T>) {
+pub(crate) fn worker<T: Send>(shared: &Shared<'_, T>) {
     let mut state = shared.lock();
     loop {
         if let Some((tenant, job)) = state.queue.pop() {
@@ -482,21 +572,7 @@ pub fn serve<'env, T, Out>(
 where
     T: Send + 'env,
 {
-    assert!(config.workers >= 1, "at least one worker");
-    assert!(config.queue_capacity >= 1, "capacity of at least one");
-    let shared: Shared<'env, T> = Shared {
-        state: Mutex::new(State {
-            queue: DrrQueue::new(
-                config.queue_capacity,
-                config.aging_period,
-                config.default_quota,
-                &config.quotas,
-            ),
-            next_seq: 0,
-            shutdown: false,
-        }),
-        work_ready: Condvar::new(),
-    };
+    let shared: Shared<'env, T> = Shared::new(&config);
     std::thread::scope(|scope| {
         for _ in 0..config.workers {
             scope.spawn(|| worker(&shared));

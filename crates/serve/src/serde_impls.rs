@@ -1,0 +1,185 @@
+//! `serde` feature: wire encodings for the serving vocabulary —
+//! [`Rejected`] (admission shedding), [`TenantQuota`] (operator config)
+//! and [`TenantStats`] (the stats a gateway reports per tenant).
+//!
+//! Hand-written field-per-field maps against the vendored `serde` shim,
+//! shaped like the derive output so swapping in the real serde later is
+//! mechanical. `Rejected` is a tagged map (`{"kind": ..., ...fields}`),
+//! the enum idiom used across the workspace.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::drr::{TenantQuota, TenantStats};
+use crate::scheduler::Rejected;
+
+impl Serialize for Rejected {
+    fn to_value(&self) -> Value {
+        match self {
+            Rejected::QueueFull { capacity } => Value::map([
+                ("kind", "queue_full".to_value()),
+                ("capacity", capacity.to_value()),
+            ]),
+            Rejected::TenantQuotaExceeded {
+                tenant,
+                queue_slots,
+            } => Value::map([
+                ("kind", "tenant_quota_exceeded".to_value()),
+                ("tenant", tenant.to_value()),
+                ("queue_slots", queue_slots.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Rejected {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match String::from_value(v.get("kind")?)?.as_str() {
+            "queue_full" => Ok(Rejected::QueueFull {
+                capacity: usize::from_value(v.get("capacity")?)?,
+            }),
+            "tenant_quota_exceeded" => Ok(Rejected::TenantQuotaExceeded {
+                tenant: Deserialize::from_value(v.get("tenant")?)?,
+                queue_slots: usize::from_value(v.get("queue_slots")?)?,
+            }),
+            other => Err(Error(format!("unknown rejection kind `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for TenantQuota {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("weight", self.weight.to_value()),
+            ("queue_slots", self.queue_slots.to_value()),
+            ("max_in_flight", self.max_in_flight.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TenantQuota {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(TenantQuota {
+            weight: u32::from_value(v.get("weight")?)?,
+            queue_slots: usize::from_value(v.get("queue_slots")?)?,
+            max_in_flight: usize::from_value(v.get("max_in_flight")?)?,
+        })
+    }
+}
+
+impl Serialize for TenantStats {
+    fn to_value(&self) -> Value {
+        Value::map([
+            ("tenant", self.tenant.to_value()),
+            ("weight", self.weight.to_value()),
+            ("submitted", self.submitted.to_value()),
+            ("rejected", self.rejected.to_value()),
+            ("dispatched", self.dispatched.to_value()),
+            ("completed", self.completed.to_value()),
+            ("aborted", self.aborted.to_value()),
+            ("cancelled_queued", self.cancelled_queued.to_value()),
+            ("queued", self.queued.to_value()),
+            ("in_flight", self.in_flight.to_value()),
+            ("io", self.io.to_value()),
+            ("total_latency", self.total_latency.to_value()),
+            ("max_latency", self.max_latency.to_value()),
+            ("qps", self.qps.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TenantStats {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(TenantStats {
+            tenant: Deserialize::from_value(v.get("tenant")?)?,
+            weight: u32::from_value(v.get("weight")?)?,
+            submitted: u64::from_value(v.get("submitted")?)?,
+            rejected: u64::from_value(v.get("rejected")?)?,
+            dispatched: u64::from_value(v.get("dispatched")?)?,
+            completed: u64::from_value(v.get("completed")?)?,
+            aborted: u64::from_value(v.get("aborted")?)?,
+            cancelled_queued: u64::from_value(v.get("cancelled_queued")?)?,
+            queued: usize::from_value(v.get("queued")?)?,
+            in_flight: usize::from_value(v.get("in_flight")?)?,
+            io: Deserialize::from_value(v.get("io")?)?,
+            total_latency: Deserialize::from_value(v.get("total_latency")?)?,
+            max_latency: Deserialize::from_value(v.get("max_latency")?)?,
+            qps: f64::from_value(v.get("qps")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_storage::{IoStats, TenantId};
+    use std::time::Duration;
+
+    #[test]
+    fn rejected_json_roundtrip_both_variants() {
+        for r in [
+            Rejected::QueueFull { capacity: 128 },
+            Rejected::TenantQuotaExceeded {
+                tenant: TenantId(9),
+                queue_slots: 4,
+            },
+        ] {
+            let back: Rejected = serde::json::from_str(&serde::json::to_string(&r)).unwrap();
+            assert_eq!(back, r);
+        }
+        assert!(serde::json::from_str::<Rejected>("{\"kind\":\"tired\"}").is_err());
+    }
+
+    #[test]
+    fn tenant_quota_json_roundtrip_including_unlimited() {
+        for q in [
+            TenantQuota::default(),
+            TenantQuota::default()
+                .weight(3)
+                .queue_slots(64)
+                .max_in_flight(2),
+        ] {
+            let back: TenantQuota = serde::json::from_str(&serde::json::to_string(&q)).unwrap();
+            assert_eq!(back.weight, q.weight);
+            assert_eq!(back.queue_slots, q.queue_slots);
+            assert_eq!(back.max_in_flight, q.max_in_flight);
+        }
+    }
+
+    #[test]
+    fn tenant_stats_json_roundtrip() {
+        let s = TenantStats {
+            tenant: TenantId(3),
+            weight: 2,
+            submitted: 100,
+            rejected: 5,
+            dispatched: 90,
+            completed: 80,
+            aborted: 10,
+            cancelled_queued: 1,
+            queued: 4,
+            in_flight: 2,
+            io: IoStats {
+                hits: 1000,
+                faults: 50,
+                writes: 0,
+            },
+            total_latency: Duration::from_millis(12345),
+            max_latency: Duration::from_millis(700),
+            qps: 12.5,
+        };
+        let back: TenantStats = serde::json::from_str(&serde::json::to_string(&s)).unwrap();
+        assert_eq!(back.tenant, s.tenant);
+        assert_eq!(back.submitted, s.submitted);
+        assert_eq!(back.rejected, s.rejected);
+        assert_eq!(back.dispatched, s.dispatched);
+        assert_eq!(back.completed, s.completed);
+        assert_eq!(back.aborted, s.aborted);
+        assert_eq!(back.cancelled_queued, s.cancelled_queued);
+        assert_eq!(back.queued, s.queued);
+        assert_eq!(back.in_flight, s.in_flight);
+        assert_eq!(back.io, s.io);
+        assert_eq!(back.total_latency, s.total_latency);
+        assert_eq!(back.max_latency, s.max_latency);
+        assert_eq!(back.qps, s.qps);
+    }
+}

@@ -387,6 +387,101 @@ impl QueryContext {
     }
 }
 
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Wire encodings for the scheduling/abort vocabulary: enums as their
+    //! snake-case names (self-describing on the wire), [`TenantId`] as its
+    //! bare integer.
+
+    use super::{AbortReason, Priority, TenantId};
+    use serde::{Deserialize, Error, Serialize, Value};
+
+    impl Serialize for Priority {
+        fn to_value(&self) -> Value {
+            match self {
+                Priority::Low => "low",
+                Priority::Normal => "normal",
+                Priority::High => "high",
+                Priority::Critical => "critical",
+            }
+            .to_value()
+        }
+    }
+
+    impl Deserialize for Priority {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match String::from_value(v)?.as_str() {
+                "low" => Ok(Priority::Low),
+                "normal" => Ok(Priority::Normal),
+                "high" => Ok(Priority::High),
+                "critical" => Ok(Priority::Critical),
+                other => Err(Error(format!("unknown priority `{other}`"))),
+            }
+        }
+    }
+
+    impl Serialize for AbortReason {
+        fn to_value(&self) -> Value {
+            match self {
+                AbortReason::Cancelled => "cancelled",
+                AbortReason::DeadlineExceeded => "deadline_exceeded",
+                AbortReason::IoBudgetExceeded => "io_budget_exceeded",
+            }
+            .to_value()
+        }
+    }
+
+    impl Deserialize for AbortReason {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match String::from_value(v)?.as_str() {
+                "cancelled" => Ok(AbortReason::Cancelled),
+                "deadline_exceeded" => Ok(AbortReason::DeadlineExceeded),
+                "io_budget_exceeded" => Ok(AbortReason::IoBudgetExceeded),
+                other => Err(Error(format!("unknown abort reason `{other}`"))),
+            }
+        }
+    }
+
+    impl Serialize for TenantId {
+        fn to_value(&self) -> Value {
+            self.0.to_value()
+        }
+    }
+
+    impl Deserialize for TenantId {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            u32::from_value(v).map(TenantId)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scheduling_vocabulary_json_roundtrip() {
+            for p in Priority::ALL {
+                let back: Priority = serde::json::from_str(&serde::json::to_string(&p)).unwrap();
+                assert_eq!(back, p);
+            }
+            for r in [
+                AbortReason::Cancelled,
+                AbortReason::DeadlineExceeded,
+                AbortReason::IoBudgetExceeded,
+            ] {
+                let back: AbortReason = serde::json::from_str(&serde::json::to_string(&r)).unwrap();
+                assert_eq!(back, r);
+            }
+            for t in [TenantId::DEFAULT, TenantId(7), TenantId(u32::MAX)] {
+                let back: TenantId = serde::json::from_str(&serde::json::to_string(&t)).unwrap();
+                assert_eq!(back, t);
+            }
+            assert!(serde::json::from_str::<Priority>("\"urgent\"").is_err());
+            assert!(serde::json::from_str::<AbortReason>("\"oom\"").is_err());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,8 +3,12 @@
 //!
 //! Since PR 4 the runner is a thin adapter over the [`cca_serve`]
 //! scheduler: queries are submitted as serving requests (each under its own
-//! [`QueryContext`]) into the bounded priority queue and executed by the
-//! scoped worker pool. The public API is unchanged from the original
+//! [`QueryContext`]) into the bounded priority queue and executed by a
+//! worker pool — since PR 6 an owned [`ServingInstance`] (private and
+//! per-batch in [`BatchRunner::run`]; shared, long-lived and
+//! caller-provided in [`BatchRunner::run_on`], where batches coexist with
+//! a network gateway's traffic and tenant stats accumulate across
+//! batches). The public API is unchanged from the original
 //! work-stealing runner — a batch admits every query (the queue is sized to
 //! the batch, so nothing is shed) and blocks until all tickets resolve —
 //! but the runner now inherits the serving semantics: per-query deadlines
@@ -27,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use cca_core::solver::{Solver, SolverConfig, SolverRegistry, UnknownSolver};
 use cca_core::{AlgoStats, Matching};
-use cca_serve::{serve, Request, ServeConfig, Ticket};
+use cca_serve::{OwnedTicket, Request, ServeConfig, ServingInstance};
 use cca_storage::{AbortReason, IoStats, Priority, QueryContext, TenantId};
 
 use crate::SpatialAssignment;
@@ -158,30 +162,97 @@ impl<'a> BatchRunner<'a> {
         let workers = threads.min(queries.len()).max(1);
         // The queue admits the whole batch, so nothing is shed and every
         // ticket resolves; streaming front-ends that want load shedding use
-        // `cca_serve::serve` directly with a smaller capacity.
+        // a shared [`ServingInstance`] (see `run_on`) with a smaller
+        // capacity.
         let config = ServeConfig::default()
             .workers(workers)
             .queue_capacity(queries.len().max(1));
-        let results: Vec<QueryResult> = serve(config, |handle| {
-            let tickets: Vec<Ticket<QueryResult>> = queries
-                .iter()
-                .enumerate()
-                .map(|(i, query)| {
-                    let solver = &*solvers[i];
-                    let request =
-                        Request::new(move |ctx: &QueryContext| self.run_one(i, query, solver, ctx))
-                            .context(self.query_context());
-                    handle
-                        .submit(request)
-                        .expect("batch queue is sized to the batch")
-                })
-                .collect();
-            tickets.into_iter().map(Ticket::wait).collect()
-        });
+        let instance: ServingInstance<QueryResult> = ServingInstance::start(config);
+        let results = self.submit_all(&instance, queries, &solvers, false);
+        instance.shutdown();
         Ok(BatchReport {
             results,
             io: store.io_stats().since(&io_before),
             wall: start.elapsed(),
+        })
+    }
+
+    /// Runs `queries` on a *shared* [`ServingInstance`] instead of a
+    /// private per-batch pool — the cross-batch serving path: several
+    /// sequential batches (and any concurrent submitters, e.g. a network
+    /// gateway) share the instance's workers, queue capacity, tenant
+    /// quotas and cumulative [`cca_serve::TenantStats`].
+    ///
+    /// Differences from [`BatchRunner::run`], which follow from sharing:
+    /// the buffer pool is *not* cleared (a live instance's cache keeps its
+    /// warmth across batches); shed submissions are retried with
+    /// backpressure until admitted (the queue belongs to everyone, so the
+    /// batch waits its turn rather than panicking); and
+    /// [`BatchReport::io`] is the *sum of the batch's own per-query
+    /// attributed I/O*, not a store-wide delta — concurrent traffic from
+    /// other submitters must not pollute this batch's number.
+    pub fn run_on(
+        &self,
+        instance: &ServingInstance<QueryResult>,
+        queries: &[SolverConfig],
+    ) -> Result<BatchReport, UnknownSolver> {
+        let solvers: Vec<Box<dyn Solver>> = queries
+            .iter()
+            .map(|q| self.registry.build(q))
+            .collect::<Result<_, _>>()?;
+        let start = Instant::now();
+        let results = self.submit_all(instance, queries, &solvers, true);
+        let io = results
+            .iter()
+            .fold(IoStats::default(), |acc, r| acc + r.stats.io);
+        Ok(BatchReport {
+            results,
+            io,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Submits every query through an instance scope (the closures borrow
+    /// `self`, `queries` and `solvers` from this stack frame) and waits
+    /// for all tickets. With `backpressure` a shed submission is retried
+    /// until the shared queue admits it; without it admission is expected
+    /// (the private batch queue is sized to the batch).
+    fn submit_all(
+        &self,
+        instance: &ServingInstance<QueryResult>,
+        queries: &[SolverConfig],
+        solvers: &[Box<dyn Solver>],
+        backpressure: bool,
+    ) -> Vec<QueryResult> {
+        instance.scope(|scope| {
+            let tickets: Vec<OwnedTicket<QueryResult>> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, query)| {
+                    let solver = &*solvers[i];
+                    loop {
+                        let request = Request::new(move |ctx: &QueryContext| {
+                            self.run_one(i, query, solver, ctx)
+                        })
+                        .context(self.query_context());
+                        match scope.submit(request) {
+                            Ok(ticket) => break ticket,
+                            Err(rejected) if backpressure => {
+                                // The shared queue is momentarily full (or
+                                // this tenant's slots are): yield and
+                                // re-offer — batch semantics are "run all",
+                                // so shedding degrades to waiting.
+                                let _ = rejected;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(rejected) => {
+                                panic!("batch queue is sized to the batch: {rejected}")
+                            }
+                        }
+                    }
+                })
+                .collect();
+            tickets.into_iter().map(OwnedTicket::wait).collect()
         })
     }
 
@@ -234,7 +305,10 @@ pub struct QueryResult {
 /// batch-aggregate I/O and wall time.
 pub struct BatchReport {
     pub results: Vec<QueryResult>,
-    /// Buffer-pool traffic of the whole batch over the shared tree.
+    /// Buffer-pool traffic of the whole batch over the shared tree: the
+    /// store-wide delta for a private-pool run ([`BatchRunner::run`]), or
+    /// the sum of the batch's own per-query attributed I/O when the
+    /// instance is shared ([`BatchRunner::run_on`]).
     pub io: IoStats,
     /// Wall-clock time of the batch (all workers).
     pub wall: Duration,

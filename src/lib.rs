@@ -60,7 +60,9 @@ mod batch;
 
 pub use batch::{BatchReport, BatchRunner, QueryResult};
 pub use cca_core::solver::{Outcome, Problem, Solver, SolverConfig, SolverRegistry, UnknownSolver};
-pub use cca_serve::{TenantQuota, TenantStats};
+pub use cca_serve::{
+    OwnedTicket, Rejected, ServeConfig, ServingInstance, TenantQuota, TenantStats,
+};
 pub use cca_storage::{AbortReason, Priority, QueryContext, TenantId};
 
 use cca_core::{AlgoStats, Matching, RefineMethod};
