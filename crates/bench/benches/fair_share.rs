@@ -160,11 +160,12 @@ fn main() {
             )
         })
         .collect();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"fair_share\",\n  \"config\": {{\"customers\": 12000, \
          \"providers\": 24, \"page_size\": 1024, \"buffer_percent\": 8.0, \"shards\": 8, \
          \"burst_per_tenant\": {BURST_PER_TENANT}, \"io_budget\": {IO_BUDGET}, \
-         \"workers\": {WORKERS}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"workers\": {WORKERS}, \"host_cores\": {host_cores}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     let out = std::env::var("CCA_BENCH_OUT")

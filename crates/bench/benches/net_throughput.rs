@@ -144,12 +144,14 @@ fn main() {
     }
     server.shutdown();
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"net_throughput\",\n  \"config\": {{\"customers\": 8000, \
          \"providers\": 16, \"page_size\": 1024, \"buffer_percent\": 8.0, \"shards\": 8, \
          \"workers\": {WORKERS}, \"queue\": {QUEUE}, \"pings_per_client\": {PINGS_PER_CLIENT}, \
          \"inline_per_client\": {INLINE_PER_CLIENT}, \
-         \"dataset_per_client\": {DATASET_PER_CLIENT}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"dataset_per_client\": {DATASET_PER_CLIENT}, \
+         \"host_cores\": {host_cores}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let out = std::env::var("CCA_BENCH_OUT")

@@ -156,11 +156,13 @@ fn main() {
         }
     }
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let body: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\"workload\": \"{}\", \"shards\": {}, \"threads\": {}, \"qps\": {:.2}}}",
+                "    {{\"workload\": \"{}\", \"shards\": {}, \"threads\": {}, \
+                 \"host_cores\": {host_cores}, \"qps\": {:.2}}}",
                 r.workload, r.shards, r.threads, r.qps
             )
         })
@@ -168,7 +170,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"pool_contention\",\n  \"config\": {{\"customers\": 20000, \
          \"providers\": 24, \"page_size\": 1024, \"buffer_percent\": 16.0, \
-         \"knn_queries_per_thread\": {KNN_QUERIES_PER_THREAD}, \"knn_k\": {KNN_K}}},\n  \
+         \"knn_queries_per_thread\": {KNN_QUERIES_PER_THREAD}, \"knn_k\": {KNN_K}, \
+         \"host_cores\": {host_cores}}},\n  \
          \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );

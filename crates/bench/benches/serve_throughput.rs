@@ -180,10 +180,12 @@ fn main() {
             )
         })
         .collect();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"config\": {{\"customers\": 12000, \
          \"providers\": 24, \"page_size\": 1024, \"buffer_percent\": 8.0, \"shards\": 8, \
-         \"stream_len\": {STREAM_LEN}, \"stream_io_budget\": {STREAM_BUDGET}}},\n  \
+         \"stream_len\": {STREAM_LEN}, \"stream_io_budget\": {STREAM_BUDGET}, \
+         \"host_cores\": {host_cores}}},\n  \
          \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );

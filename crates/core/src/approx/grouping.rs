@@ -15,6 +15,17 @@ use cca_geo::{hilbert, Point, Rect, WORLD_SIZE};
 /// `rect_of` gives each item's extent (a degenerate rect for points).
 /// Returns groups as lists of item indices; every item lands in exactly one
 /// group and groups are non-empty.
+/// How many of the most recent groups the greedy insertion scan considers.
+///
+/// Hilbert order keeps spatial neighbours adjacent, so an item that fits any
+/// group at all almost always fits one opened recently; groups further back
+/// are spatially distant and merging into them would exceed δ anyway. The
+/// bounded window turns the insertion scan from O(n·groups) — quadratic when
+/// δ is small and most items open their own group — into O(n), at the cost
+/// of occasionally opening a group that an unbounded scan would have merged.
+/// Every group still satisfies the diagonal budget.
+const GROUP_SCAN_WINDOW: usize = 32;
+
 pub fn greedy_hilbert_groups<T>(
     items: &[T],
     point_of: impl Fn(&T) -> Point,
@@ -28,10 +39,8 @@ pub fn greedy_hilbert_groups<T>(
     let mut groups: Vec<(Rect, Vec<usize>)> = Vec::new();
     for &i in &order {
         let r = rect_of(&items[i]);
-        // Hilbert order keeps spatial neighbours adjacent, so scanning from
-        // the most recent group first finds a fit quickly.
         let mut placed = false;
-        for (mbr, members) in groups.iter_mut().rev() {
+        for (mbr, members) in groups.iter_mut().rev().take(GROUP_SCAN_WINDOW) {
             let merged = mbr.union(&r);
             if merged.diagonal() <= delta {
                 *mbr = merged;

@@ -82,6 +82,8 @@ pub struct Engine {
     /// Largest fast-phase match distance (`D` in the phase-exit potential).
     fast_d: f64,
     in_fast_phase: bool,
+    /// Arcs of the most recently committed path, for batched re-commits.
+    last_path: Vec<u32>,
     /// When true, `check_reduced_costs` runs after every commit (tests).
     pub paranoid: bool,
     pub stats: AlgoStats,
@@ -132,6 +134,7 @@ impl Engine {
             alpha_t: None,
             fast_d: 0.0,
             in_fast_phase: true,
+            last_path: Vec::new(),
             paranoid: false,
             stats: AlgoStats::default(),
             ctx: None,
@@ -336,12 +339,45 @@ impl Engine {
         debug_assert!(!self.in_fast_phase, "commit during fast phase");
 
         // Augment along parent arcs, tracking fullness of touched edges.
-        let path = self.dij.extract_path(&self.g, self.t);
-        for &a in &path {
+        self.last_path = self.dij.extract_path(&self.g, self.t);
+        self.augment_last_path();
+
+        // Potential update (Algorithm 1 lines 8–9) and τmax maintenance.
+        let dij = &self.dij;
+        self.g
+            .update_potentials(dij.settled_nodes(), |v| dij.alpha(v), alpha_t);
+        for &v in self.dij.settled_nodes() {
+            // Provider nodes occupy the contiguous id range [2, 2+|Q|).
+            let first = 2;
+            let last = 2 + self.providers.len() as NodeId;
+            if v >= first && v < last {
+                let tau = self.g.tau(v);
+                if tau > self.tau_max {
+                    self.tau_max = tau;
+                }
+            }
+        }
+
+        self.stats.settled += self.dij.settled_nodes().len() as u64;
+        self.stats.iterations += 1;
+        self.alpha_t = None;
+
+        if self.paranoid {
+            if let Err((arc, rc)) = self.g.check_reduced_costs(1e-6) {
+                panic!("reduced-cost invariant broken after commit: arc {arc} rc {rc}");
+            }
+        }
+    }
+
+    /// Pushes one unit along `last_path`, updating fullness and assignment
+    /// bookkeeping for every touched edge.
+    fn augment_last_path(&mut self) {
+        for i in 0..self.last_path.len() {
+            let a = self.last_path[i];
             self.g.push_flow(a, 1);
         }
-        for &a in &path {
-            let e = self.g.arc_edge(a);
+        for i in 0..self.last_path.len() {
+            let e = self.g.arc_edge(self.last_path[i]);
             match self.edge_kind[e as usize] {
                 EdgeKind::SourceQ(qi) => {
                     let p = &mut self.providers[qi as usize];
@@ -362,29 +398,37 @@ impl Engine {
                 EdgeKind::QP => {}
             }
         }
+    }
 
-        // Potential update (Algorithm 1 lines 8–9) and τmax maintenance.
-        let dij = &self.dij;
-        self.g
-            .update_potentials(dij.settled_nodes(), |v| dij.alpha(v), alpha_t);
-        for &v in self.dij.settled_nodes() {
-            // Provider nodes occupy the contiguous id range [2, 2+|Q|).
-            let first = 2;
-            let last = 2 + self.providers.len() as NodeId;
-            if v >= first && v < last {
-                let tau = self.g.tau(v);
-                if tau > self.tau_max {
-                    self.tau_max = tau;
-                }
-            }
-        }
+    /// True if the last committed path still has residual capacity on every
+    /// arc, i.e. it could be augmented again as-is.
+    pub fn last_path_residual(&self) -> bool {
+        !self.last_path.is_empty() && self.last_path.iter().all(|&a| self.g.residual_cap(a) >= 1)
+    }
 
+    /// The Theorem-1 test for a *zero-length* shortest path. After a commit,
+    /// every arc of the committed path has reduced cost 0, so while the path
+    /// keeps residual capacity a fresh Dijkstra would find it again at
+    /// reduced length exactly 0 (no residual path can be cheaper: all
+    /// reduced costs are non-negative). The corresponding potential update
+    /// is then a no-op (`α(v) = α_t = 0` for every settled node), so the
+    /// whole hypothetical iteration collapses to this test plus a re-push.
+    pub fn zero_sp_valid(&self, threshold: f64) -> bool {
+        0.0 <= threshold - self.tau_max + VALIDITY_EPS
+    }
+
+    /// Re-commits the last committed path without a new Dijkstra: one more
+    /// augmentation along the identical arcs, with identical bookkeeping.
+    /// Callers must have checked [`Engine::last_path_residual`] and
+    /// [`Engine::zero_sp_valid`] first; this is the batched form of the
+    /// iteration those tests make redundant.
+    pub fn recommit(&mut self) {
+        debug_assert!(self.last_path_residual());
+        self.augment_last_path();
         self.stats.iterations += 1;
-        self.alpha_t = None;
-
         if self.paranoid {
             if let Err((arc, rc)) = self.g.check_reduced_costs(1e-6) {
-                panic!("reduced-cost invariant broken after commit: arc {arc} rc {rc}");
+                panic!("reduced-cost invariant broken after recommit: arc {arc} rc {rc}");
             }
         }
     }

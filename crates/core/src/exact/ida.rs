@@ -214,6 +214,22 @@ pub fn ida<S: CustomerSource>(
             if engine.sp_valid(heap.top_key()) {
                 engine.commit();
                 done += 1;
+                // Batched same-path augmentation: after the commit the path's
+                // arcs all have reduced cost 0, so while it keeps residual
+                // capacity a fresh Dijkstra would re-find it at reduced
+                // length 0 and the potential update would be a no-op. Skip
+                // those searches: re-validate with Theorem 1 (α_t = 0,
+                // against a conservative Φ that drops possibly-stale α
+                // terms) and push another unit along the identical arcs.
+                // This collapses the per-unit iterations of weighted
+                // instances (e.g. CA's concise matching) into one search.
+                while done < gamma
+                    && engine.last_path_residual()
+                    && engine.zero_sp_valid(conservative_phi(&engine, &heap))
+                {
+                    engine.recommit();
+                    done += 1;
+                }
                 break;
             }
             engine.note_invalid();
@@ -233,6 +249,26 @@ pub fn ida<S: CustomerSource>(
     let mut stats = engine.stats;
     stats.cpu_time = start.elapsed();
     (matching, stats)
+}
+
+/// A strictly conservative `Φ(E − Esub)` lower bound for the batched
+/// re-commit test: like the heap keys, but with the α term of full providers
+/// dropped. Stale α values (which Algorithm 4 keeps) may overestimate the
+/// current reduced-cost distance; since true α ≥ 0 always, `lag + dist`
+/// never does, so re-commits validated against this bound are exactly as
+/// safe as fresh-search iterations.
+fn conservative_phi(engine: &Engine, heap: &IdaHeap) -> f64 {
+    let mut phi = f64::INFINITY;
+    for (qi, pending) in heap.pending.iter().enumerate() {
+        let Some(c) = pending else { continue };
+        let key = if engine.provider_full(qi) {
+            engine.provider_tau_lag(qi) + c.dist
+        } else {
+            c.dist
+        };
+        phi = phi.min(key);
+    }
+    phi
 }
 
 /// Applies Algorithm 4 lines 10–12, extended with the potential-lag

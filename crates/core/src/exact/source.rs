@@ -6,7 +6,10 @@
 //! representatives, §4). [`CustomerSource`] abstracts over both so the same
 //! algorithm code serves every phase.
 
-use cca_geo::Point;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cca_geo::{OrdF64, Point};
 use cca_rtree::{GroupAnn, IncNn, RTree};
 use cca_storage::{AbortReason, QueryContext};
 
@@ -214,8 +217,10 @@ impl CustomerSource for RtreeSource<'_> {
 /// In-memory customers with optional weights; used for the approximate
 /// algorithms' concise matching and refinement phases, and handy in tests.
 ///
-/// Per-provider NN streams are materialised eagerly (the sets involved are
-/// small by design — that is the whole point of the approximation).
+/// Per-provider NN streams are lazily-popped min-heaps: heapify is O(n)
+/// where a full sort would be O(n log n), and the incremental algorithms
+/// consume only a short prefix of each stream before the Theorem-1 bound
+/// cuts discovery off.
 ///
 /// A memory source performs no I/O, but it may still carry a
 /// [`QueryContext`] ([`MemorySource::with_context`]): the CPU-bound driver
@@ -224,8 +229,9 @@ impl CustomerSource for RtreeSource<'_> {
 /// cannot overshoot its deadline.
 pub struct MemorySource {
     customers: Vec<(Point, u32)>,
-    /// Per provider: customer ids sorted by distance, plus a cursor.
-    streams: Vec<(Vec<u32>, usize)>,
+    /// Per provider: min-heap of (dist, id), popped on demand. Ties break on
+    /// the lower customer id, matching a stable sort by distance.
+    streams: Vec<BinaryHeap<Reverse<(OrdF64, u32)>>>,
     providers: Vec<Point>,
     ctx: Option<QueryContext>,
 }
@@ -235,12 +241,11 @@ impl MemorySource {
         let streams = providers
             .iter()
             .map(|q| {
-                let mut ids: Vec<u32> = (0..customers.len() as u32).collect();
-                ids.sort_by(|&a, &b| {
-                    q.dist(&customers[a as usize].0)
-                        .total_cmp(&q.dist(&customers[b as usize].0))
-                });
-                (ids, 0usize)
+                customers
+                    .iter()
+                    .enumerate()
+                    .map(|(id, &(pos, _))| Reverse((OrdF64::new(q.dist(&pos)), id as u32)))
+                    .collect::<BinaryHeap<_>>()
             })
             .collect();
         MemorySource {
@@ -274,15 +279,13 @@ impl CustomerSource for MemorySource {
     }
 
     fn next_nn(&mut self, qi: usize) -> Option<SourcedCustomer> {
-        let (ids, cursor) = &mut self.streams[qi];
-        let id = *ids.get(*cursor)?;
-        *cursor += 1;
+        let Reverse((dist, id)) = self.streams[qi].pop()?;
         let (pos, weight) = self.customers[id as usize];
         Some(SourcedCustomer {
             id: u64::from(id),
             pos,
             weight,
-            dist: self.providers[qi].dist(&pos),
+            dist: dist.get(),
         })
     }
 

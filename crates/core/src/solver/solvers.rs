@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use cca_flow::sspa::{solve_complete_bipartite_ctx, FlowCustomer, FlowProvider};
+use cca_flow::sspa::{solve_complete_bipartite_warm_ctx, FlowCustomer, FlowProvider};
 
 use crate::approx::{ca_ctx, sa_ctx, CaConfig, SaConfig};
 use crate::exact::{ida, nia, ria, CustomerSource, IdaConfig, NiaConfig, RiaConfig};
@@ -107,8 +107,15 @@ impl Solver for SspaSolver {
         // the γ-iteration and Dijkstra loops, so an expired deadline aborts
         // the CPU-bound flow phase without a single page access; the
         // committed partial assignment is returned and `Solver::run`
-        // classifies the outcome off the context's sticky abort state.
-        let (asg, sspa_stats) = match solve_complete_bipartite_ctx(&fps, &fcs, problem.context()) {
+        // classifies the outcome off the context's sticky abort state. A
+        // problem-attached warm-start cache (one per batch) lets repeated
+        // queries resume from the previous solve's verified final state.
+        let (asg, sspa_stats) = match solve_complete_bipartite_warm_ctx(
+            &fps,
+            &fcs,
+            problem.context(),
+            problem.sspa_cache(),
+        ) {
             Ok(complete) => complete,
             Err(aborted) => (aborted.partial, aborted.stats),
         };

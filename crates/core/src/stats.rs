@@ -15,6 +15,8 @@ pub struct AlgoStats {
     pub esub_edges: u64,
     /// Full Dijkstra executions.
     pub dijkstra_runs: u64,
+    /// Nodes settled across all Dijkstra executions (search effort).
+    pub settled: u64,
     /// PUA invocations (edge insertions re-optimised incrementally).
     pub pua_runs: u64,
     /// Completed SSPA iterations (valid shortest paths augmented) = γ.
@@ -53,6 +55,7 @@ mod serde_impls {
             Value::map([
                 ("esub_edges", self.esub_edges.to_value()),
                 ("dijkstra_runs", self.dijkstra_runs.to_value()),
+                ("settled", self.settled.to_value()),
                 ("pua_runs", self.pua_runs.to_value()),
                 ("iterations", self.iterations.to_value()),
                 ("invalid_paths", self.invalid_paths.to_value()),
@@ -68,6 +71,7 @@ mod serde_impls {
             Ok(AlgoStats {
                 esub_edges: u64::from_value(v.get("esub_edges")?)?,
                 dijkstra_runs: u64::from_value(v.get("dijkstra_runs")?)?,
+                settled: u64::from_value(v.get("settled")?)?,
                 pua_runs: u64::from_value(v.get("pua_runs")?)?,
                 iterations: u64::from_value(v.get("iterations")?)?,
                 invalid_paths: u64::from_value(v.get("invalid_paths")?)?,

@@ -32,6 +32,7 @@ pub mod validate;
 pub use dijkstra::{DijkstraState, EPS};
 pub use graph::{ArcId, FlowGraph, NodeId, NO_ARC};
 pub use sspa::{
-    required_flow, solve_complete_bipartite, solve_complete_bipartite_ctx, unit_customers,
-    Assignment, FlowAborted, FlowCustomer, FlowProvider, SspaStats,
+    required_flow, solve_complete_bipartite, solve_complete_bipartite_ctx,
+    solve_complete_bipartite_warm_ctx, unit_customers, Assignment, FlowAborted, FlowCustomer,
+    FlowProvider, SspaCache, SspaStats,
 };

@@ -77,6 +77,88 @@ pub struct SspaStats {
     pub iterations: u64,
     /// Edges in the flow graph (|Q|·|P| + |Q| + |P| for the baseline).
     pub edges: u64,
+    /// Nodes settled across all Dijkstra runs — the dominant work term a
+    /// warm start shrinks (units resumed from the cache never search).
+    pub settled: u64,
+    /// Units installed from the cache before the first Dijkstra run
+    /// (`iterations + warm_units` is the total flow on completion).
+    pub warm_units: u64,
+    /// True when the solve resumed from a verified cached state.
+    pub warm_started: bool,
+}
+
+/// Shape key a cached state may apply to: `(|Q|, |P|, Σ q.k, Σ p.w)`. The
+/// key is deliberately loose — the real guard is the reduced-cost check run
+/// against the *current* instance's costs before a cached state is resumed,
+/// so a colliding key from a different geometry is rejected there, never
+/// trusted.
+type CacheKey = (usize, usize, u64, u64);
+
+/// The final primal-dual state of a completed solve: node potentials (in
+/// the solver's fixed node order `s, t, Q…, P…`) plus the optimal
+/// assignment's flow triples.
+#[derive(Clone, Debug)]
+struct CachedState {
+    tau: Vec<f64>,
+    pairs: Vec<(u32, u32, u32)>,
+}
+
+/// A cross-query warm-start cache for SSPA.
+///
+/// A completed solve publishes its final state — node potentials *and* the
+/// optimal flow. The next solve of the same shape installs that state and
+/// verifies SSPA's loop invariant against its own costs: every residual arc
+/// must have non-negative reduced cost (§2.2), which is exactly the
+/// certificate that the installed flow is minimum-cost *for its value*. If
+/// the check passes the solve resumes with only `γ − cached` augmentations
+/// left (zero for a repeated query); if it fails — different geometry under
+/// a colliding shape key — the state is rolled back and the solve runs
+/// cold. Either way the result is the exact optimum: a cache entry can only
+/// save Dijkstra work, never change the answer.
+///
+/// Shared by reference across a batch's worker threads; the interior mutex
+/// is held only to clone state in or out, never across a solve.
+#[derive(Debug, Default)]
+pub struct SspaCache {
+    entry: std::sync::Mutex<Option<(CacheKey, CachedState)>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl SspaCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a solve resumed from a verified entry / ran cold,
+    /// respectively. (A shape-key hit that fails the reduced-cost check
+    /// counts as a miss: the cache did not help that solve.)
+    pub fn hit_miss(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    fn record(&self, hit: bool) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if hit {
+            self.hits.fetch_add(1, Relaxed);
+        } else {
+            self.misses.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn load(&self, key: CacheKey) -> Option<CachedState> {
+        let entry = self.entry.lock().expect("sspa cache poisoned");
+        match entry.as_ref() {
+            Some((k, state)) if *k == key => Some(state.clone()),
+            _ => None,
+        }
+    }
+
+    fn store(&self, key: CacheKey, state: CachedState) {
+        *self.entry.lock().expect("sspa cache poisoned") = Some((key, state));
+    }
 }
 
 /// An SSPA solve cut short by its [`QueryContext`] (cancellation or an
@@ -133,6 +215,31 @@ pub fn solve_complete_bipartite_ctx(
     customers: &[FlowCustomer],
     ctx: Option<&QueryContext>,
 ) -> Result<(Assignment, SspaStats), FlowAborted> {
+    solve_complete_bipartite_warm_ctx(providers, customers, ctx, None)
+}
+
+/// [`solve_complete_bipartite_ctx`] with an optional cross-query warm-start
+/// cache.
+///
+/// With a cache attached the solve tries to *resume* from the cached final
+/// state of a previous solve instead of starting from zero flow: the cached
+/// potentials and flow are installed, capacity-validated, and then verified
+/// against this instance's costs with the reduced-cost check — the exact
+/// invariant (`rc ≥ 0` on every residual arc, §2.2) under which a flow is
+/// minimum-cost for its value and SSPA may continue augmenting from it.
+/// A repeated query resumes at `γ` committed units and performs zero
+/// Dijkstra searches; a different instance that merely collides on the
+/// shape key fails the check, is rolled back, and runs cold. Warm or cold,
+/// the result is the same exact optimum — the cache can only save work
+/// (observable via [`SspaStats::settled`] and [`SspaStats::warm_units`]),
+/// never change the answer. On completion the solve publishes its own final
+/// state back to the cache.
+pub fn solve_complete_bipartite_warm_ctx(
+    providers: &[FlowProvider],
+    customers: &[FlowCustomer],
+    ctx: Option<&QueryContext>,
+    cache: Option<&SspaCache>,
+) -> Result<(Assignment, SspaStats), FlowAborted> {
     let mut g = FlowGraph::with_nodes(2 + providers.len() + customers.len());
     let s: NodeId = 0;
     let t: NodeId = 1;
@@ -140,9 +247,11 @@ pub fn solve_complete_bipartite_ctx(
     let p_node = |j: usize| (2 + providers.len() + j) as NodeId;
 
     // Source and sink edges (cost 0, capacities q.k / p.w), §2.1.
-    for (i, q) in providers.iter().enumerate() {
-        g.add_edge(s, q_node(i), q.cap, 0.0);
-    }
+    let src_edges: Vec<u32> = providers
+        .iter()
+        .enumerate()
+        .map(|(i, q)| g.add_edge(s, q_node(i), q.cap, 0.0))
+        .collect();
     // Complete bipartite distance edges. Edge capacity is the customer's
     // weight: a representative with weight w can receive up to w units from
     // the same provider ("M' may assign instances of a representative to
@@ -156,13 +265,41 @@ pub fn solve_complete_bipartite_ctx(
             qp_edges.push((e, i, j));
         }
     }
-    for (j, p) in customers.iter().enumerate() {
-        g.add_edge(p_node(j), t, p.weight, 0.0);
+    let sink_edges: Vec<u32> = customers
+        .iter()
+        .enumerate()
+        .map(|(j, p)| g.add_edge(p_node(j), t, p.weight, 0.0))
+        .collect();
+
+    let key: CacheKey = (
+        providers.len(),
+        customers.len(),
+        providers.iter().map(|q| u64::from(q.cap)).sum(),
+        customers.iter().map(|p| u64::from(p.weight)).sum(),
+    );
+    let mut warm_units = 0u64;
+    if let Some(state) = cache.and_then(|c| c.load(key)) {
+        warm_units = try_resume(
+            &mut g,
+            &state,
+            providers,
+            customers,
+            &src_edges,
+            &qp_edges,
+            &sink_edges,
+        );
+        if let Some(c) = cache {
+            c.record(warm_units > 0);
+        }
+    } else if let Some(c) = cache {
+        c.record(false);
     }
+    let warm_started = warm_units > 0;
 
     let gamma = required_flow(providers, customers);
     let mut dij = DijkstraState::new();
     let mut iterations = 0u64;
+    let mut settled = 0u64;
     let extract = |g: &FlowGraph| {
         let mut asg = Assignment::default();
         for &(e, i, j) in &qp_edges {
@@ -174,7 +311,7 @@ pub fn solve_complete_bipartite_ctx(
         }
         asg
     };
-    for _ in 0..gamma {
+    for _ in warm_units..gamma {
         // Iteration-head poll, plus stride polls inside the search: the
         // committed units always form a valid partial assignment, and an
         // in-flight (un-augmented) search never mutates the flow, so both
@@ -188,6 +325,7 @@ pub fn solve_complete_bipartite_ctx(
         };
         match searched {
             Ok(Some(alpha_t)) => {
+                settled += dij.settled_nodes().len() as u64;
                 dij.augment_unit(&mut g, t);
                 g.update_potentials(dij.settled_nodes(), |v| dij.alpha(v), alpha_t);
                 iterations += 1;
@@ -200,6 +338,9 @@ pub fn solve_complete_bipartite_ctx(
                     stats: SspaStats {
                         iterations,
                         edges: g.num_edges() as u64,
+                        settled,
+                        warm_units,
+                        warm_started,
                     },
                 })
             }
@@ -210,12 +351,98 @@ pub fn solve_complete_bipartite_ctx(
     let stats = SspaStats {
         iterations,
         edges: g.num_edges() as u64,
+        settled,
+        warm_units,
+        warm_started,
     };
     debug_assert!(
         g.check_reduced_costs(crate::dijkstra::EPS * 100.0).is_ok(),
         "optimality certificate violated"
     );
+    if let Some(cache) = cache {
+        // Publish this solve's final primal-dual state for the next
+        // same-shaped query. Completed solves only — an aborted prefix is a
+        // valid state too, but a completed one resumes further.
+        let tau = (0..g.num_nodes()).map(|v| g.tau(v as NodeId)).collect();
+        let pairs = asg
+            .pairs
+            .iter()
+            .map(|&(i, j, u)| (i as u32, j as u32, u))
+            .collect();
+        cache.store(key, CachedState { tau, pairs });
+    }
     Ok((asg, stats))
+}
+
+/// Installs a cached primal-dual state into a freshly built graph and
+/// verifies it is a sound SSPA resume point for *this* instance. Returns
+/// the number of installed units (0 = rejected and fully rolled back).
+///
+/// Three gates, in order:
+/// 1. shape: the potential vector must cover every node and every flow
+///    triple must index a real provider/customer;
+/// 2. capacity: per-provider loads within `q.k`, per-customer within `p.w`;
+/// 3. optimality: with the state installed, every residual arc must have
+///    non-negative reduced cost under the *current* costs — the §2.2
+///    certificate that the flow is minimum-cost for its value, which is
+///    precisely SSPA's loop invariant.
+fn try_resume(
+    g: &mut FlowGraph,
+    state: &CachedState,
+    providers: &[FlowProvider],
+    customers: &[FlowCustomer],
+    src_edges: &[u32],
+    qp_edges: &[(u32, usize, usize)],
+    sink_edges: &[u32],
+) -> u64 {
+    if state.tau.len() != g.num_nodes() {
+        return 0;
+    }
+    let mut qload = vec![0u64; providers.len()];
+    let mut pload = vec![0u64; customers.len()];
+    for &(i, j, u) in &state.pairs {
+        let (i, j) = (i as usize, j as usize);
+        if i >= providers.len() || j >= customers.len() {
+            return 0;
+        }
+        qload[i] += u64::from(u);
+        pload[j] += u64::from(u);
+    }
+    if qload
+        .iter()
+        .zip(providers)
+        .any(|(&l, q)| l > u64::from(q.cap))
+        || pload
+            .iter()
+            .zip(customers)
+            .any(|(&l, p)| l > u64::from(p.weight))
+    {
+        return 0;
+    }
+
+    let push = |g: &mut FlowGraph, reverse: bool| {
+        for &(i, j, u) in &state.pairs {
+            let (i, j) = (i as usize, j as usize);
+            let arc = u32::from(reverse);
+            g.push_flow(2 * src_edges[i] + arc, u);
+            g.push_flow(2 * qp_edges[i * customers.len() + j].0 + arc, u);
+            g.push_flow(2 * sink_edges[j] + arc, u);
+        }
+    };
+    for (v, &tau) in state.tau.iter().enumerate() {
+        g.set_tau(v as NodeId, tau);
+    }
+    push(g, false);
+    if g.check_reduced_costs(crate::dijkstra::EPS * 100.0).is_err() {
+        // A colliding shape key from different geometry: roll the state
+        // back completely and let the solve run cold.
+        push(g, true);
+        for v in 0..state.tau.len() {
+            g.set_tau(v as NodeId, 0.0);
+        }
+        return 0;
+    }
+    state.pairs.iter().map(|&(_, _, u)| u64::from(u)).sum()
 }
 
 /// Convenience constructor for unit-weight customers.
@@ -403,6 +630,130 @@ mod tests {
             .enumerate()
         {
             assert!(*load <= u64::from(customers[pj].weight), "customer {pj}");
+        }
+    }
+
+    fn random_instance(
+        seed: u64,
+        nq: usize,
+        np: usize,
+        max_cap: u32,
+    ) -> (Vec<FlowProvider>, Vec<FlowCustomer>) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let providers = (0..nq)
+            .map(|_| {
+                q(
+                    rng.random_range(0.0..1000.0),
+                    rng.random_range(0.0..1000.0),
+                    rng.random_range(1..=max_cap),
+                )
+            })
+            .collect();
+        let customers = (0..np)
+            .map(|_| p(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
+            .collect();
+        (providers, customers)
+    }
+
+    #[test]
+    fn warm_start_resumes_a_repeated_query_without_searching() {
+        let (providers, customers) = random_instance(7, 6, 60, 5);
+        let cache = SspaCache::new();
+        let (cold, cold_stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache)).unwrap();
+        assert!(!cold_stats.warm_started, "first solve finds an empty cache");
+        assert!(cold_stats.settled > 0);
+        let (warm, warm_stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache)).unwrap();
+        assert!(warm_stats.warm_started);
+        assert_eq!(cache.hit_miss(), (1, 1));
+        assert_eq!(
+            warm.cost, cold.cost,
+            "a resumed repeated query reproduces the optimum exactly"
+        );
+        assert_eq!(warm.pairs, cold.pairs);
+        assert_eq!(warm_stats.warm_units, cold_stats.iterations);
+        assert_eq!(warm_stats.iterations, 0, "γ units came from the cache");
+        assert_eq!(warm_stats.settled, 0, "no Dijkstra run at all");
+    }
+
+    #[test]
+    fn shape_mismatch_falls_back_to_cold() {
+        let (providers, customers) = random_instance(8, 4, 30, 3);
+        let cache = SspaCache::new();
+        let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+        // Same providers, one fewer customer: key differs, entry unusable.
+        let fewer = &customers[..29];
+        let (asg, stats) =
+            solve_complete_bipartite_warm_ctx(&providers, fewer, None, Some(&cache)).unwrap();
+        assert!(!stats.warm_started);
+        let (want, _) = solve_complete_bipartite(&providers, fewer);
+        assert_eq!(asg.cost, want.cost);
+    }
+
+    #[test]
+    fn colliding_shape_key_from_different_geometry_is_rejected() {
+        // Prime on instance A, solve instance B with a colliding shape key
+        // but completely different geometry: the reduced-cost gate must
+        // reject A's state, roll it back and produce B's exact optimum.
+        let (pa, ca) = random_instance(100, 5, 40, 4);
+        let (pb, cb) = random_instance(200, 5, 40, 4);
+        // Force identical capacities so the shape keys collide.
+        let pb: Vec<FlowProvider> = pb
+            .iter()
+            .zip(&pa)
+            .map(|(b, a)| FlowProvider {
+                pos: b.pos,
+                cap: a.cap,
+            })
+            .collect();
+        let cache = SspaCache::new();
+        let _ = solve_complete_bipartite_warm_ctx(&pa, &ca, None, Some(&cache));
+        let (warm, stats) =
+            solve_complete_bipartite_warm_ctx(&pb, &cb, None, Some(&cache)).unwrap();
+        assert!(
+            !stats.warm_started,
+            "foreign-geometry state must fail the reduced-cost gate"
+        );
+        let (cold, _) = solve_complete_bipartite(&pb, &cb);
+        assert_eq!(
+            warm.cost, cold.cost,
+            "after rollback the solve is exactly the cold solve"
+        );
+        assert_eq!(warm.pairs, cold.pairs);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        /// Warm-started SSPA is exact: on any random instance, solving
+        /// twice through a shared cache yields the same optimal cost as the
+        /// cold solve (and both match the plain entry point).
+        #[test]
+        fn prop_warm_start_cost_equals_cold(
+            seed in 0u64..10_000,
+            nq in 1usize..8,
+            np in 1usize..40,
+            max_cap in 1u32..6,
+        ) {
+            let (providers, customers) = random_instance(seed, nq, np, max_cap);
+            let (cold, _) = solve_complete_bipartite(&providers, &customers);
+            let cache = SspaCache::new();
+            let (first, _) =
+                solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+                    .unwrap();
+            let (warm, stats) =
+                solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+                    .unwrap();
+            proptest::prop_assert!(stats.warm_started);
+            let tol = 1e-9 * cold.cost.max(1.0);
+            proptest::prop_assert!((first.cost - cold.cost).abs() <= tol);
+            proptest::prop_assert!(
+                (warm.cost - cold.cost).abs() <= tol,
+                "warm {} vs cold {}", warm.cost, cold.cost
+            );
+            proptest::prop_assert_eq!(warm.size(), cold.size());
         }
     }
 

@@ -23,8 +23,9 @@ pub enum NetError {
     /// The transport or codec failed underneath the protocol.
     Wire(WireError),
     /// The server answered with a typed fault (shed, aborted, bad
-    /// request, …) — inspect [`WireFault::code`].
-    Server(WireFault),
+    /// request, …) — inspect [`WireFault::code`]. Boxed because an
+    /// abort fault carries the run's full partial stats.
+    Server(Box<WireFault>),
     /// The server closed the connection.
     Closed,
     /// The server answered with a frame the call didn't expect.
@@ -92,7 +93,7 @@ impl NetClient {
         client.send(&Hello::new(tenant))?;
         match client.recv()? {
             NetResponse::Hello(_) => Ok(client),
-            NetResponse::Error(fault) => Err(NetError::Server(fault)),
+            NetResponse::Error(fault) => Err(NetError::Server(Box::new(fault))),
             _ => Err(NetError::Unexpected("handshake")),
         }
     }
@@ -109,7 +110,7 @@ impl NetClient {
         self.send(&NetRequest::Solve(request))?;
         match self.recv()? {
             NetResponse::Solved(reply) => Ok(reply),
-            NetResponse::Error(fault) => Err(NetError::Server(fault)),
+            NetResponse::Error(fault) => Err(NetError::Server(Box::new(fault))),
             _ => Err(NetError::Unexpected("solve")),
         }
     }
@@ -120,7 +121,7 @@ impl NetClient {
         self.send(&NetRequest::Stats)?;
         match self.recv()? {
             NetResponse::Stats(reply) => Ok(reply),
-            NetResponse::Error(fault) => Err(NetError::Server(fault)),
+            NetResponse::Error(fault) => Err(NetError::Server(Box::new(fault))),
             _ => Err(NetError::Unexpected("stats")),
         }
     }
@@ -130,7 +131,7 @@ impl NetClient {
         self.send(&NetRequest::Ping)?;
         match self.recv()? {
             NetResponse::Pong => Ok(()),
-            NetResponse::Error(fault) => Err(NetError::Server(fault)),
+            NetResponse::Error(fault) => Err(NetError::Server(Box::new(fault))),
             _ => Err(NetError::Unexpected("ping")),
         }
     }

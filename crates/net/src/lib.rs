@@ -17,7 +17,10 @@
 //!   silent drops.
 //! * the transport — a blocking thread-per-connection TCP server
 //!   ([`NetServer`]) over a transport-free protocol engine
-//!   ([`Gateway`]), and a small blocking [`NetClient`].
+//!   ([`Gateway`]), and a small blocking [`NetClient`]. The server
+//!   enforces a connection cap and an idle read timeout
+//!   ([`NetServerConfig`]), both surfaced to the peer as typed wire
+//!   faults rather than silent drops.
 //!
 //! The gateway's [`cca_serve::ServingInstance`] is persistent: it
 //! outlives individual connections *and* individual batches, so a
@@ -60,4 +63,4 @@ pub use proto::{
     ErrorCode, Hello, HelloAck, NetRequest, NetResponse, ProblemSpec, SolveReply, SolveRequest,
     StatsReply, WireFault, PROTOCOL_VERSION,
 };
-pub use server::{Gateway, GatewayBuilder, NetServer};
+pub use server::{Gateway, GatewayBuilder, NetServer, NetServerConfig};

@@ -149,6 +149,11 @@ pub enum ErrorCode {
     VersionMismatch,
     /// The server failed internally (e.g. a solver panic).
     Internal,
+    /// The server is at its connection limit and refused this connection.
+    ConnectionLimit,
+    /// The connection sat idle past the server's per-connection read
+    /// timeout and was closed.
+    ReadTimeout,
 }
 
 impl ErrorCode {
@@ -165,6 +170,8 @@ impl ErrorCode {
             ErrorCode::BadRequest => 8,
             ErrorCode::VersionMismatch => 9,
             ErrorCode::Internal => 10,
+            ErrorCode::ConnectionLimit => 11,
+            ErrorCode::ReadTimeout => 12,
         }
     }
 
@@ -181,12 +188,14 @@ impl ErrorCode {
             8 => ErrorCode::BadRequest,
             9 => ErrorCode::VersionMismatch,
             10 => ErrorCode::Internal,
+            11 => ErrorCode::ConnectionLimit,
+            12 => ErrorCode::ReadTimeout,
             _ => return None,
         })
     }
 
     /// All codes, for exhaustiveness tests.
-    pub const ALL: [ErrorCode; 10] = [
+    pub const ALL: [ErrorCode; 12] = [
         ErrorCode::QueueFull,
         ErrorCode::TenantQuotaExceeded,
         ErrorCode::Cancelled,
@@ -197,6 +206,8 @@ impl ErrorCode {
         ErrorCode::BadRequest,
         ErrorCode::VersionMismatch,
         ErrorCode::Internal,
+        ErrorCode::ConnectionLimit,
+        ErrorCode::ReadTimeout,
     ];
 }
 
@@ -213,6 +224,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad request",
             ErrorCode::VersionMismatch => "version mismatch",
             ErrorCode::Internal => "internal error",
+            ErrorCode::ConnectionLimit => "connection limit reached",
+            ErrorCode::ReadTimeout => "connection read timeout",
         };
         write!(f, "{name} (code {})", self.code())
     }
@@ -496,7 +509,7 @@ mod tests {
             assert_eq!(ErrorCode::from_code(code.code()), Some(code));
         }
         assert_eq!(ErrorCode::from_code(0), None);
-        assert_eq!(ErrorCode::from_code(11), None);
+        assert_eq!(ErrorCode::from_code(13), None);
     }
 
     #[test]

@@ -14,9 +14,10 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cca::{Problem, QueryResult, SpatialAssignment};
 use cca_core::solver::SolverRegistry;
@@ -216,13 +217,56 @@ fn fault(code: ErrorCode, message: impl Into<String>) -> NetResponse {
     })
 }
 
+/// Connection-level limits for a [`NetServer`].
+///
+/// Both limits exist to keep a blocking thread-per-connection server from
+/// being pinned down by misbehaving peers: a connection flood would
+/// otherwise spawn unbounded threads, and an idle-but-open connection
+/// would park one thread forever in a blocking read. Every enforcement is
+/// a *typed* wire fault ([`ErrorCode::ConnectionLimit`] /
+/// [`ErrorCode::ReadTimeout`]) before the socket closes — never a silent
+/// drop or a hang.
+#[derive(Clone, Copy, Debug)]
+pub struct NetServerConfig {
+    /// Maximum simultaneously served connections; further connections are
+    /// refused with [`ErrorCode::ConnectionLimit`].
+    pub max_connections: usize,
+    /// How long a connection may sit idle between frames before it is
+    /// closed with [`ErrorCode::ReadTimeout`]. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 256,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// Sets the connection cap.
+    pub fn max_connections(mut self, max: usize) -> Self {
+        assert!(max >= 1, "a server that accepts nothing serves nothing");
+        self.max_connections = max;
+        self
+    }
+
+    /// Sets (or clears) the per-connection idle read timeout.
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
 /// A blocking thread-per-connection TCP front-end over a [`Gateway`].
 ///
 /// Binding spawns an accept-loop thread; each accepted connection gets its
 /// own thread that handshakes ([`Hello`] / [`HelloAck`]) and then serves
-/// the request/response loop. [`NetServer::shutdown`] (or drop) stops
-/// accepting, shuts every live connection's socket down and joins all
-/// threads.
+/// the request/response loop, subject to the [`NetServerConfig`] limits.
+/// [`NetServer::shutdown`] (or drop) stops accepting, shuts every live
+/// connection's socket down and joins all threads.
 pub struct NetServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -237,8 +281,18 @@ struct ConnHandle {
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port, then
-    /// [`NetServer::local_addr`]) and starts serving `gateway`.
+    /// [`NetServer::local_addr`]) and starts serving `gateway` with the
+    /// default connection limits.
     pub fn bind(addr: impl ToSocketAddrs, gateway: Arc<Gateway>) -> io::Result<NetServer> {
+        Self::bind_with(addr, gateway, NetServerConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit connection limits.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        gateway: Arc<Gateway>,
+        config: NetServerConfig,
+    ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -248,7 +302,7 @@ impl NetServer {
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("cca-net-accept".into())
-                .spawn(move || accept_loop(listener, gateway, stop, conns))
+                .spawn(move || accept_loop(listener, gateway, config, stop, conns))
                 .expect("spawn accept thread")
         };
         Ok(NetServer {
@@ -297,25 +351,56 @@ impl Drop for NetServer {
 fn accept_loop(
     listener: TcpListener,
     gateway: Arc<Gateway>,
+    config: NetServerConfig,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<ConnHandle>>>,
 ) {
+    let live = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Admission check before spawning anything: a refused connection
+        // gets a typed goodbye, not a thread.
+        if live.load(Ordering::SeqCst) >= config.max_connections {
+            let max = gateway.max_frame();
+            let mut writer = BufWriter::new(&stream);
+            let _ = codec::send_message(
+                &mut writer,
+                &fault(
+                    ErrorCode::ConnectionLimit,
+                    format!(
+                        "server is at its {}-connection limit",
+                        config.max_connections
+                    ),
+                ),
+                max,
+            );
+            drop(writer);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
         // Keep a raw clone so shutdown can sever the socket under the
         // connection thread and join it.
         let Ok(raw) = stream.try_clone() else {
             continue;
         };
+        live.fetch_add(1, Ordering::SeqCst);
         let gateway = Arc::clone(&gateway);
+        let live_in_thread = Arc::clone(&live);
         let thread = std::thread::Builder::new()
             .name("cca-net-conn".into())
-            .spawn(move || serve_connection(gateway, stream))
+            .spawn(move || {
+                serve_connection(gateway, stream, config.read_timeout);
+                live_in_thread.fetch_sub(1, Ordering::SeqCst);
+            })
             .expect("spawn connection thread");
-        conns.lock().expect("conns lock").push(ConnHandle {
+        let mut conns = conns.lock().expect("conns lock");
+        // Reap finished handles so a long-lived server's registry doesn't
+        // grow with every connection it ever served.
+        conns.retain(|c| !c.thread.is_finished());
+        conns.push(ConnHandle {
             stream: raw,
             thread,
         });
@@ -323,8 +408,12 @@ fn accept_loop(
 }
 
 /// One connection's lifetime: handshake, then frames until the peer
-/// closes, the stream dies, or framing desynchronises.
-fn serve_connection(gateway: Arc<Gateway>, stream: TcpStream) {
+/// closes, the stream dies, framing desynchronises, or the idle timeout
+/// fires.
+fn serve_connection(gateway: Arc<Gateway>, stream: TcpStream, read_timeout: Option<Duration>) {
+    // A blocking read observes the timeout as `WouldBlock`/`TimedOut`;
+    // the connection loop turns that into a typed `ReadTimeout` fault.
+    let _ = stream.set_read_timeout(read_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -409,16 +498,36 @@ fn connection_loop(
 }
 
 /// Best-effort typed goodbye for codec-level failures before closing.
+/// An expired idle read timeout surfaces here as a transport error and
+/// gets its own [`ErrorCode::ReadTimeout`]; everything else is a
+/// [`ErrorCode::BadRequest`].
 fn send_wire_fault(
     writer: &mut impl io::Write,
     error: &WireError,
     max: usize,
 ) -> Result<(), WireError> {
-    codec::send_message(
-        writer,
-        &fault(ErrorCode::BadRequest, error.to_string()),
-        max,
-    )
+    let response = if is_read_timeout(error) {
+        fault(
+            ErrorCode::ReadTimeout,
+            "connection idle past the server's read timeout",
+        )
+    } else {
+        fault(ErrorCode::BadRequest, error.to_string())
+    };
+    codec::send_message(writer, &response, max)
+}
+
+/// Whether a codec failure is an expired `set_read_timeout` deadline.
+/// Platforms disagree on the error kind (`WouldBlock` on unix,
+/// `TimedOut` on windows), so accept both.
+fn is_read_timeout(error: &WireError) -> bool {
+    match error {
+        WireError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ),
+        _ => false,
+    }
 }
 
 #[cfg(test)]
@@ -486,6 +595,95 @@ mod tests {
         }
         // Neither request should have registered with the scheduler.
         assert!(gateway.instance().tenant_stats().is_empty());
+    }
+
+    #[test]
+    fn connections_past_the_cap_get_a_typed_rejection() {
+        let gateway = Arc::new(tiny_gateway());
+        let server = NetServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&gateway),
+            NetServerConfig::default().max_connections(1),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let max = gateway.max_frame();
+
+        // The first connection takes the only slot (and works normally).
+        let mut first = crate::NetClient::connect(addr, TenantId(1)).unwrap();
+        first.ping().unwrap();
+
+        // The second is refused before any handshake: the server sends a
+        // `ConnectionLimit` fault unprompted and closes.
+        let mut second = TcpStream::connect(addr).unwrap();
+        let reply: NetResponse = codec::recv_message(&mut second, max).unwrap().unwrap();
+        match reply {
+            NetResponse::Error(fault) => assert_eq!(fault.code, ErrorCode::ConnectionLimit),
+            other => panic!("expected connection-limit fault, got {other:?}"),
+        }
+        assert!(
+            codec::recv_message::<NetResponse>(&mut second, max)
+                .unwrap()
+                .is_none(),
+            "refused connection is closed"
+        );
+
+        // Releasing the slot re-admits new connections (the live count
+        // decrements when the connection thread exits).
+        drop(first);
+        let mut readmitted = None;
+        for _ in 0..2_000 {
+            match crate::NetClient::connect(addr, TenantId(1)) {
+                Ok(client) => {
+                    readmitted = Some(client);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        readmitted
+            .expect("slot frees after disconnect")
+            .ping()
+            .unwrap();
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_time_out_with_a_typed_fault() {
+        let gateway = Arc::new(tiny_gateway());
+        let server = NetServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&gateway),
+            NetServerConfig::default().read_timeout(Some(Duration::from_millis(50))),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let max = gateway.max_frame();
+
+        // A connection that never sends its Hello trips the idle timeout:
+        // the server answers with a `ReadTimeout` fault and closes.
+        let mut silent = TcpStream::connect(addr).unwrap();
+        let reply: NetResponse = codec::recv_message(&mut silent, max).unwrap().unwrap();
+        match reply {
+            NetResponse::Error(fault) => assert_eq!(fault.code, ErrorCode::ReadTimeout),
+            other => panic!("expected read-timeout fault, got {other:?}"),
+        }
+        assert!(
+            codec::recv_message::<NetResponse>(&mut silent, max)
+                .unwrap()
+                .is_none(),
+            "timed-out connection is closed"
+        );
+
+        // A connection that keeps talking inside the window is unaffected.
+        let mut chatty = crate::NetClient::connect(addr, TenantId(1)).unwrap();
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(20));
+            chatty.ping().unwrap();
+        }
+
+        server.shutdown();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
-use cca_geo::{OrdF64, Point};
+use cca_geo::{kernel, OrdF64, Point};
 use cca_storage::{AbortReason, Aborted, PageId, QueryContext};
 
 use crate::entry::ItemId;
@@ -58,6 +58,39 @@ impl Ord for HeapItem {
     }
 }
 
+/// Reusable struct-of-arrays staging for one node's entries: the page
+/// decoder fills the coordinate columns, one batched kernel call computes
+/// every distance, and the heap pushes read the results back. Owned by the
+/// cursor so expanding N nodes allocates nothing after the first.
+#[derive(Default)]
+struct SoaScratch {
+    /// Leaf columns: point coordinates and item ids.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ids: Vec<ItemId>,
+    /// Inner-node columns: MBR sides and child page ids.
+    lox: Vec<f64>,
+    loy: Vec<f64>,
+    hix: Vec<f64>,
+    hiy: Vec<f64>,
+    children: Vec<u32>,
+    /// Kernel output: squared distances.
+    d2: Vec<f64>,
+}
+
+impl SoaScratch {
+    fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.ids.clear();
+        self.lox.clear();
+        self.loy.clear();
+        self.hix.clear();
+        self.hiy.clear();
+        self.children.clear();
+    }
+}
+
 /// An incremental nearest-neighbour cursor over the tree.
 ///
 /// Yields the indexed points in ascending distance from the query point, one
@@ -74,6 +107,8 @@ pub struct IncNn<'t> {
     ctx: Option<QueryContext>,
     /// Why the cursor stopped early, if it did.
     aborted: Option<AbortReason>,
+    /// SoA staging for the batched distance kernels.
+    scratch: SoaScratch,
 }
 
 impl<'t> IncNn<'t> {
@@ -92,6 +127,7 @@ impl<'t> IncNn<'t> {
             yielded: 0,
             ctx,
             aborted: None,
+            scratch: SoaScratch::default(),
         }
     }
 
@@ -137,24 +173,54 @@ impl<'t> IncNn<'t> {
         let q = self.query;
         let heap = &mut self.heap;
         let ctx = self.ctx.as_ref();
+        let scratch = &mut self.scratch;
+        scratch.clear();
+        // Decode the node into SoA columns, evaluate every entry's distance
+        // in one batched (autovectorized) kernel call, then feed the heap.
+        // `dist2.sqrt()` produces bit-identical values to the scalar
+        // `q.dist(&p)` / `mbr.mindist(&q)` paths (pinned by cca-geo tests).
         if level_height == 1 {
             self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
-                    heap.push(Reverse(HeapItem {
-                        dist: OrdF64::new(q.dist(&p)),
-                        kind: ItemKind::Point(p, id),
-                    }));
+                    scratch.xs.push(p.x);
+                    scratch.ys.push(p.y);
+                    scratch.ids.push(id);
                 });
             });
+            scratch.d2.resize(scratch.xs.len(), 0.0);
+            kernel::point_dist2_batch(q.x, q.y, &scratch.xs, &scratch.ys, &mut scratch.d2);
+            for i in 0..scratch.ids.len() {
+                heap.push(Reverse(HeapItem {
+                    dist: OrdF64::new(scratch.d2[i].sqrt()),
+                    kind: ItemKind::Point(Point::new(scratch.xs[i], scratch.ys[i]), scratch.ids[i]),
+                }));
+            }
         } else {
             self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_inner_entry(bytes, |mbr, child| {
-                    heap.push(Reverse(HeapItem {
-                        dist: OrdF64::new(mbr.mindist(&q)),
-                        kind: ItemKind::Node(child, level_height - 1),
-                    }));
+                    scratch.lox.push(mbr.lo.x);
+                    scratch.loy.push(mbr.lo.y);
+                    scratch.hix.push(mbr.hi.x);
+                    scratch.hiy.push(mbr.hi.y);
+                    scratch.children.push(child.0);
                 });
             });
+            scratch.d2.resize(scratch.children.len(), 0.0);
+            kernel::rect_mindist2_batch(
+                q.x,
+                q.y,
+                &scratch.lox,
+                &scratch.loy,
+                &scratch.hix,
+                &scratch.hiy,
+                &mut scratch.d2,
+            );
+            for i in 0..scratch.children.len() {
+                heap.push(Reverse(HeapItem {
+                    dist: OrdF64::new(scratch.d2[i].sqrt()),
+                    kind: ItemKind::Node(PageId(scratch.children[i]), level_height - 1),
+                }));
+            }
         }
     }
 }

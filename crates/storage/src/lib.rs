@@ -7,9 +7,11 @@
 //!
 //! * [`disk::DiskManager`] — an in-memory simulated disk holding fixed-size
 //!   pages and counting *physical* reads/writes,
-//! * [`lru::LruList`] — an O(1) intrusive LRU list,
-//! * [`buffer::BufferPool`] — a buffer pool with LRU replacement and
-//!   write-back of dirty pages,
+//! * [`lru::LruList`] — an O(1) intrusive LRU list (kept as a reusable
+//!   primitive; the pool itself now uses clock replacement),
+//! * [`buffer::BufferPool`] — a buffer pool with clock (second-chance)
+//!   replacement, write-back of dirty pages, and a seqlock-published frame
+//!   directory that lets the sharded store serve page hits without a lock,
 //! * [`stats::IoStats`] — fault counters plus the paper's charged I/O time,
 //! * [`stats::IoSession`] — a per-query attribution handle charged alongside
 //!   the global counters, so concurrent queries each see their own traffic,
@@ -17,8 +19,10 @@
 //!   tenant + priority + deadline + I/O budget + cancellation) threaded
 //!   through every page access; budgets trip at page-fault time,
 //! * [`store::PageStore`] — the facade striping pages over N independent
-//!   shards (own frames, LRU and lock each; counters are per-shard atomics
-//!   aggregated on read), shared across the serving layer's worker threads.
+//!   shards (own frames, clock hand and lock each; counters are per-shard
+//!   atomics aggregated on read), shared across the serving layer's worker
+//!   threads. Page hits are served lock-free through a per-shard seqlock
+//!   directory; only faults and writes take a shard mutex.
 //!
 //! The disk is in-memory (documented substitution in DESIGN.md §5): the
 //! paper itself *charges* I/O time per fault rather than measuring a device,

@@ -123,6 +123,11 @@ impl PageStore {
     /// `ctx` — the per-query attribution path. Charging a fault to a
     /// context with an I/O budget performs the budget check right here, so
     /// a context-aware traversal observes the abort before its next access.
+    ///
+    /// Page *hits* are served lock-free: the shard's seqlock-validated hot
+    /// directory copies the bytes without acquiring the shard mutex (see
+    /// [`PageStore::lock_acquisitions`]). Only faults — and hits that lost a
+    /// race with a writer — take the lock.
     pub fn with_page_ctx<R>(
         &self,
         id: PageId,
@@ -131,10 +136,14 @@ impl PageStore {
     ) -> R {
         self.check_allocated(id);
         let local = self.router.local_id(id);
-        self.shards[self.router.shard_of(id)].with_inner(ctx, |inner| {
-            inner.ensure_local_page(local);
-            inner.pool.with_page(&mut inner.disk, local, f)
-        })
+        let shard = &self.shards[self.router.shard_of(id)];
+        match shard.try_read_hot(local, ctx, f) {
+            Ok(result) => result,
+            Err(f) => shard.with_inner(ctx, |inner| {
+                inner.ensure_local_page(local);
+                inner.pool.with_page(&mut inner.disk, local, f)
+            }),
+        }
     }
 
     /// Writes a full page through its shard's buffer pool (write-back).
@@ -158,6 +167,13 @@ impl PageStore {
         for shard in self.shards.iter() {
             shard.with_inner(None, |inner| inner.pool.flush_all(&mut inner.disk));
         }
+    }
+
+    /// Total shard-mutex acquisitions since construction, summed across
+    /// shards. A page hit served by the optimistic read path leaves this
+    /// flat — the lock-counter test pins that contract.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock_acquisitions()).sum()
     }
 
     /// Buffer-pool statistics accumulated so far, aggregated across shards

@@ -1,0 +1,162 @@
+//! The optimistic (lock-free) hit path must be a *transparent* fast path:
+//!
+//! 1. Hits on resident pages never acquire the shard mutex (pinned by the
+//!    lock-acquisition counter).
+//! 2. Under racing readers the bytes and the exact hit/fault counts are
+//!    identical to what the `shards = 1` mutex path produces: every access
+//!    is charged to exactly one counter, and no reader ever observes a torn
+//!    page — even with a concurrent writer flipping page contents.
+
+use cca_storage::{IoStats, PageStore, QueryContext};
+
+/// Warmed pages are served without a single mutex acquisition.
+#[test]
+fn hits_skip_the_shard_mutex() {
+    for shards in [1, 4] {
+        let store = PageStore::with_config_sharded(64, 16, shards);
+        let pages: Vec<_> = (0..8).map(|_| store.alloc_page()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            store.write_page(p, &[i as u8; 64]);
+        }
+        // Warm: every page faults into its frame (locked path).
+        for &p in &pages {
+            store.with_page(p, |_| ());
+        }
+        store.reset_stats();
+        let locks_before = store.lock_acquisitions();
+        for round in 0..50 {
+            for (i, &p) in pages.iter().enumerate() {
+                store.with_page(p, |d| assert_eq!(d[0] as usize, i, "round {round}"));
+            }
+        }
+        assert_eq!(
+            store.lock_acquisitions(),
+            locks_before,
+            "hit-only traffic must not touch the shard mutex (shards = {shards})"
+        );
+        let s = store.io_stats();
+        assert_eq!(s.hits, 50 * pages.len() as u64);
+        assert_eq!(s.faults, 0);
+    }
+}
+
+/// Racing readers over a fully resident working set: identical bytes to the
+/// mutex path, exact per-session attribution, and zero lock traffic.
+#[test]
+fn concurrent_hits_match_mutex_path_exactly() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 500;
+    for shards in [1, 4] {
+        let store = PageStore::with_config_sharded(32, 16, shards);
+        let pages: Vec<_> = (0..16).map(|_| store.alloc_page()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            store.write_page(p, &[i as u8; 32]);
+        }
+        for &p in &pages {
+            store.with_page(p, |_| ());
+        }
+        store.reset_stats();
+        let locks_before = store.lock_acquisitions();
+
+        let sessions: Vec<QueryContext> = (0..THREADS).map(|_| QueryContext::new()).collect();
+        std::thread::scope(|scope| {
+            for (t, session) in sessions.iter().enumerate() {
+                let store = &store;
+                let pages = &pages;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let idx = (t * 5 + round * 3) % pages.len();
+                        store.with_page_ctx(pages[idx], Some(session), |d| {
+                            // Byte-exact: the same data the locked path
+                            // would serve, never a torn mix.
+                            assert_eq!(d, &[idx as u8; 32]);
+                        });
+                    }
+                });
+            }
+        });
+
+        // Exact counts: every access was a hit, charged to exactly one
+        // session, and the aggregate matches the mutex path's bookkeeping.
+        let total: IoStats = sessions
+            .iter()
+            .fold(IoStats::default(), |acc, s| acc + s.stats());
+        let expect = IoStats {
+            hits: (THREADS * ROUNDS) as u64,
+            faults: 0,
+            writes: 0,
+        };
+        assert_eq!(total, expect, "shards = {shards}");
+        assert_eq!(store.io_stats(), expect, "shards = {shards}");
+        assert_eq!(
+            store.lock_acquisitions(),
+            locks_before,
+            "resident working set: no reader may lock (shards = {shards})"
+        );
+    }
+}
+
+/// A writer flipping whole pages while readers race: the seqlock must never
+/// expose a torn page — every observed page is uniformly old or uniformly
+/// new — and reads + writes still partition the counters exactly.
+#[test]
+fn racing_writer_never_exposes_torn_pages() {
+    const READERS: usize = 6;
+    const READS: usize = 4000;
+    const WRITES: usize = 2000;
+    let store = PageStore::with_config_sharded(256, 8, 2);
+    let pages: Vec<_> = (0..4).map(|_| store.alloc_page()).collect();
+    for &p in &pages {
+        store.write_page(p, &[0u8; 256]);
+    }
+    for &p in &pages {
+        store.with_page(p, |_| ());
+    }
+    store.reset_stats();
+
+    let sessions: Vec<QueryContext> = (0..READERS).map(|_| QueryContext::new()).collect();
+    let writer_session = QueryContext::new();
+    std::thread::scope(|scope| {
+        for (t, session) in sessions.iter().enumerate() {
+            let store = &store;
+            let pages = &pages;
+            scope.spawn(move || {
+                for round in 0..READS {
+                    let idx = (t + round) % pages.len();
+                    store.with_page_ctx(pages[idx], Some(session), |d| {
+                        let first = d[0];
+                        assert!(
+                            d.iter().all(|&b| b == first),
+                            "torn page observed: starts {first}, mixed bytes"
+                        );
+                    });
+                }
+            });
+        }
+        let store = &store;
+        let pages = &pages;
+        let writer_session = &writer_session;
+        scope.spawn(move || {
+            for round in 0..WRITES {
+                let idx = round % pages.len();
+                let byte = (round % 251) as u8;
+                store.write_page_ctx(pages[idx], Some(writer_session), &[byte; 256]);
+            }
+        });
+    });
+
+    let mut total: IoStats = sessions
+        .iter()
+        .fold(IoStats::default(), |acc, s| acc + s.stats());
+    total = total + writer_session.stats();
+    assert_eq!(
+        total,
+        store.io_stats(),
+        "sessions must partition the global counters exactly"
+    );
+    assert_eq!(
+        total.hits + total.faults,
+        (READERS * READS) as u64,
+        "every read charged exactly once"
+    );
+}

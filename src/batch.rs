@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use cca_core::solver::{Solver, SolverConfig, SolverRegistry, UnknownSolver};
 use cca_core::{AlgoStats, Matching};
+use cca_flow::SspaCache;
 use cca_serve::{OwnedTicket, Request, ServeConfig, ServingInstance};
 use cca_storage::{AbortReason, IoStats, Priority, QueryContext, TenantId};
 
@@ -159,6 +160,10 @@ impl<'a> BatchRunner<'a> {
         let io_before = store.io_stats();
         let start = Instant::now();
 
+        // One warm-start cache per batch: repeated/similar SSPA queries
+        // resume from each other's verified final state instead of
+        // re-deriving γ augmenting paths from scratch.
+        let sspa_cache = SspaCache::new();
         let workers = threads.min(queries.len()).max(1);
         // The queue admits the whole batch, so nothing is shed and every
         // ticket resolves; streaming front-ends that want load shedding use
@@ -168,7 +173,7 @@ impl<'a> BatchRunner<'a> {
             .workers(workers)
             .queue_capacity(queries.len().max(1));
         let instance: ServingInstance<QueryResult> = ServingInstance::start(config);
-        let results = self.submit_all(&instance, queries, &solvers, false);
+        let results = self.submit_all(&instance, queries, &solvers, &sspa_cache, false);
         instance.shutdown();
         Ok(BatchReport {
             results,
@@ -201,7 +206,8 @@ impl<'a> BatchRunner<'a> {
             .map(|q| self.registry.build(q))
             .collect::<Result<_, _>>()?;
         let start = Instant::now();
-        let results = self.submit_all(instance, queries, &solvers, true);
+        let sspa_cache = SspaCache::new();
+        let results = self.submit_all(instance, queries, &solvers, &sspa_cache, true);
         let io = results
             .iter()
             .fold(IoStats::default(), |acc, r| acc + r.stats.io);
@@ -222,6 +228,7 @@ impl<'a> BatchRunner<'a> {
         instance: &ServingInstance<QueryResult>,
         queries: &[SolverConfig],
         solvers: &[Box<dyn Solver>],
+        sspa_cache: &SspaCache,
         backpressure: bool,
     ) -> Vec<QueryResult> {
         instance.scope(|scope| {
@@ -232,7 +239,7 @@ impl<'a> BatchRunner<'a> {
                     let solver = &*solvers[i];
                     loop {
                         let request = Request::new(move |ctx: &QueryContext| {
-                            self.run_one(i, query, solver, ctx)
+                            self.run_one(i, query, solver, sspa_cache, ctx)
                         })
                         .context(self.query_context());
                         match scope.submit(request) {
@@ -261,13 +268,18 @@ impl<'a> BatchRunner<'a> {
         index: usize,
         config: &SolverConfig,
         solver: &dyn Solver,
+        sspa_cache: &SspaCache,
         ctx: &QueryContext,
     ) -> QueryResult {
         // The scheduler hands each query its own context: the store charges
         // it alongside its shard counters, so `stats.io` is this query's
         // own traffic even with other workers hammering the same pool — and
         // the context's deadline/budget/cancellation govern the run.
-        let problem = self.instance.problem().with_context(ctx);
+        let problem = self
+            .instance
+            .problem()
+            .with_context(ctx)
+            .with_sspa_cache(sspa_cache);
         let outcome = solver.run(&problem);
         let aborted = outcome.abort_reason();
         let (matching, stats) = outcome.into_parts();

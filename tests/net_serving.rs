@@ -76,7 +76,7 @@ fn quick_problem() -> ProblemSpec {
 
 fn server_fault(err: NetError) -> cca_net::WireFault {
     match err {
-        NetError::Server(fault) => fault,
+        NetError::Server(fault) => *fault,
         other => panic!("expected a server fault, got {other:?}"),
     }
 }
