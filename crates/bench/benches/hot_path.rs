@@ -151,12 +151,20 @@ fn main() {
     for &id in &pages {
         store.with_page(id, |b| black_box(b[0]));
     }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     for &threads in &THREAD_COUNTS {
         let (qps, locks_per_m) = hot_read_round(&store, &pages, threads, scale.reads_per_thread);
         println!("hot_read threads={threads}  {qps:12.0} reads/s  {locks_per_m:6.1} locks/Mread");
+        // More reader threads than host cores measures time-slicing, not
+        // parallel scaling — tag those rows for downstream readers.
+        let oversub = if threads > host_cores {
+            ", \"oversubscribed\": true"
+        } else {
+            ""
+        };
         rows.push(format!(
-            "    {{\"workload\": \"hot_read\", \"threads\": {threads}, \"reads_per_s\": {qps:.0}, \
-             \"lock_acqs_per_mread\": {locks_per_m:.1}}}"
+            "    {{\"workload\": \"hot_read\", \"threads\": {threads}{oversub}, \
+             \"reads_per_s\": {qps:.0}, \"lock_acqs_per_mread\": {locks_per_m:.1}}}"
         ));
     }
 
@@ -311,7 +319,6 @@ fn main() {
     }
 
     // ---- emit -------------------------------------------------------
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"hot_path\",\n  \"config\": {{\"customers\": 20000, \
          \"providers\": 24, \"page_size\": 1024, \"buffer_percent\": 16.0, \"shards\": 8, \

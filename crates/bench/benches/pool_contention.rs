@@ -160,9 +160,17 @@ fn main() {
     let body: Vec<String> = rows
         .iter()
         .map(|r| {
+            // Rows run with more worker threads than the host has cores
+            // measure time-slicing, not parallel speedup — tag them so
+            // downstream readers never compare them against true scaling.
+            let oversub = if r.threads > host_cores {
+                ", \"oversubscribed\": true"
+            } else {
+                ""
+            };
             format!(
                 "    {{\"workload\": \"{}\", \"shards\": {}, \"threads\": {}, \
-                 \"host_cores\": {host_cores}, \"qps\": {:.2}}}",
+                 \"host_cores\": {host_cores}{oversub}, \"qps\": {:.2}}}",
                 r.workload, r.shards, r.threads, r.qps
             )
         })

@@ -63,6 +63,8 @@ fn main() {
                 .delta(40.0)
                 .refine(RefineMethod::NnBased),
         ),
+        ("coreset", cca::SolverConfig::new("coreset")),
+        ("da", cca::SolverConfig::new("da")),
     ];
     for (name, config) in configs {
         if !want(name) {

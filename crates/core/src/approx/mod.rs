@@ -1,14 +1,22 @@
-//! Approximate CCA (§4): SA and CA with NN-based and exclusive-NN
-//! refinement and the error bounds of Theorems 3–4.
+//! Approximate CCA: the paper's SA and CA (§4) with NN-based and
+//! exclusive-NN refinement and the error bounds of Theorems 3–4, plus the
+//! scale-out tier — capacity-aware coresets ([`coreset()`]) and
+//! deterministic annealing ([`da()`]) for instances where even CA's full
+//! partition descent is too slow.
 
 pub mod bounds;
 pub mod ca;
+pub mod coreset;
+pub mod da;
 pub mod grouping;
+mod pgrid;
 pub mod refine;
 pub mod sa;
 
 pub use bounds::{ca_error_bound, sa_error_bound};
 pub use ca::{ca, ca_ctx, CaConfig};
+pub use coreset::{coreset, coreset_ctx, coreset_points, CoresetConfig};
+pub use da::{da, da_ctx, da_points, DaConfig};
 pub use grouping::{greedy_hilbert_groups, partition_providers, ProviderGroup};
 pub use refine::{RefineMethod, RefineProvider};
 pub use sa::{sa, sa_ctx, SaConfig};

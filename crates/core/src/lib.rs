@@ -10,7 +10,8 @@
 //! * [`exact`] — RIA, NIA and IDA (§3) over a shared incremental-SSPA
 //!   engine, with the PUA (§3.4.1) and grouped-ANN (§3.4.2) optimisations.
 //! * `approx` — SA and CA (§4) with NN-based and exclusive-NN refinement and
-//!   the error bounds of Theorems 3–4.
+//!   the error bounds of Theorems 3–4, plus the approximate scale-out tier
+//!   (capacity-aware coresets, deterministic annealing).
 //! * [`matching`] / [`stats`] — result and measurement types shared by all
 //!   algorithms and by the benchmark harness.
 
@@ -21,7 +22,8 @@ pub mod solver;
 pub mod stats;
 
 pub use approx::{
-    ca, ca_ctx, ca_error_bound, sa, sa_ctx, sa_error_bound, CaConfig, RefineMethod, SaConfig,
+    ca, ca_ctx, ca_error_bound, coreset, coreset_ctx, da, da_ctx, sa, sa_ctx, sa_error_bound,
+    CaConfig, CoresetConfig, DaConfig, RefineMethod, SaConfig,
 };
 pub use exact::{
     ida, nia, ria, CustomerSource, IdaConfig, IdaKeyMode, MemorySource, NiaConfig, RiaConfig,

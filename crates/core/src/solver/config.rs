@@ -33,6 +33,15 @@ pub struct SolverConfig {
     pub disable_fast_phase: bool,
     /// Ablation: disable PUA reuse (§3.4.1) in NIA/IDA.
     pub disable_pua: bool,
+    /// Coreset target size `m` for `coreset` (0 = auto `64·√n`).
+    pub coreset_size: usize,
+    /// Sampling seed for `coreset` (cost may vary with it; feasibility
+    /// never does).
+    pub sample_seed: u64,
+    /// Bounded local-refinement passes for `coreset` after the lift.
+    pub swap_passes: usize,
+    /// Temperature steps in `da`'s cooling schedule.
+    pub anneal_steps: usize,
 }
 
 impl SolverConfig {
@@ -50,6 +59,10 @@ impl SolverConfig {
             key_mode: IdaKeyMode::default(),
             disable_fast_phase: false,
             disable_pua: false,
+            coreset_size: 0,
+            sample_seed: 0xc0_5e7,
+            swap_passes: 2,
+            anneal_steps: 8,
         }
     }
 
@@ -100,6 +113,30 @@ impl SolverConfig {
         self.disable_pua = disable;
         self
     }
+
+    /// Sets the coreset target size (0 = auto).
+    pub fn coreset_size(mut self, size: usize) -> Self {
+        self.coreset_size = size;
+        self
+    }
+
+    /// Sets the coreset sampling seed.
+    pub fn sample_seed(mut self, seed: u64) -> Self {
+        self.sample_seed = seed;
+        self
+    }
+
+    /// Sets the coreset swap-refinement pass budget.
+    pub fn swap_passes(mut self, passes: usize) -> Self {
+        self.swap_passes = passes;
+        self
+    }
+
+    /// Sets DA's temperature-step count.
+    pub fn anneal_steps(mut self, steps: usize) -> Self {
+        self.anneal_steps = steps;
+        self
+    }
 }
 
 #[cfg(feature = "serde")]
@@ -138,6 +175,10 @@ mod serde_impls {
                 ),
                 ("disable_fast_phase", self.disable_fast_phase.to_value()),
                 ("disable_pua", self.disable_pua.to_value()),
+                ("coreset_size", self.coreset_size.to_value()),
+                ("sample_seed", self.sample_seed.to_value()),
+                ("swap_passes", self.swap_passes.to_value()),
+                ("anneal_steps", self.anneal_steps.to_value()),
             ])
         }
     }
@@ -163,6 +204,10 @@ mod serde_impls {
                 key_mode,
                 disable_fast_phase: bool::from_value(v.get("disable_fast_phase")?)?,
                 disable_pua: bool::from_value(v.get("disable_pua")?)?,
+                coreset_size: usize::from_value(v.get("coreset_size")?)?,
+                sample_seed: u64::from_value(v.get("sample_seed")?)?,
+                swap_passes: usize::from_value(v.get("swap_passes")?)?,
+                anneal_steps: usize::from_value(v.get("anneal_steps")?)?,
             })
         }
     }
@@ -193,6 +238,15 @@ mod tests {
             .delta(25.0)
             .refine(RefineMethod::ExclusiveNn)
             .group_size(4);
+        let json = serde::json::to_string(&cfg);
+        let back: SolverConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        // The approximate-tier knobs survive the round trip too.
+        let cfg = SolverConfig::new("coreset")
+            .coreset_size(4096)
+            .sample_seed(0xfeed)
+            .swap_passes(3)
+            .anneal_steps(12);
         let json = serde::json::to_string(&cfg);
         let back: SolverConfig = serde::json::from_str(&json).unwrap();
         assert_eq!(back, cfg);

@@ -35,7 +35,8 @@ pub use config::SolverConfig;
 pub use problem::Problem;
 pub use registry::{SolverFactory, SolverRegistry, UnknownSolver};
 pub use solvers::{
-    CaSolver, IdaGroupedSolver, IdaSolver, NiaSolver, RiaSolver, SaSolver, SspaSolver,
+    CaSolver, CoresetSolver, DaSolver, IdaGroupedSolver, IdaSolver, NiaSolver, RiaSolver, SaSolver,
+    SspaSolver,
 };
 
 use cca_storage::AbortReason;
@@ -204,7 +205,11 @@ mod tests {
 
     /// Every registered solver must solve a small tree-backed instance; the
     /// exact ones to the optimum, the approximate ones within their bound
-    /// (δ is driven to ~0 so they are near-exact too).
+    /// (δ is driven to ~0 so SA/CA are near-exact; `coreset`'s auto size
+    /// exceeds n here so its coreset is the full set and it is exact too).
+    /// `da` is a stochastic heuristic with no instance-wise optimality
+    /// guarantee, so it only has to be feasible and within a loose cost
+    /// envelope of the optimum.
     #[test]
     fn all_registered_solvers_solve_through_the_trait() {
         let (providers, customers) = random_instance(77, 4, 40, 4);
@@ -224,11 +229,19 @@ mod tests {
             matching
                 .validate_unit(&providers, &customers)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert!(
-                (matching.cost() - want).abs() < 1e-6,
-                "{name}: {} vs optimal {want}",
-                matching.cost()
-            );
+            if name == "da" {
+                assert!(
+                    matching.cost() < 3.0 * want,
+                    "da: {} vs optimal {want}",
+                    matching.cost()
+                );
+            } else {
+                assert!(
+                    (matching.cost() - want).abs() < 1e-6,
+                    "{name}: {} vs optimal {want}",
+                    matching.cost()
+                );
+            }
             assert!(
                 stats.iterations > 0 || stats.fast_phase_matches > 0,
                 "{name}"

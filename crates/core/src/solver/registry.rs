@@ -2,11 +2,12 @@
 
 use std::fmt;
 
-use crate::approx::{CaConfig, SaConfig};
+use crate::approx::{CaConfig, CoresetConfig, DaConfig, SaConfig};
 use crate::exact::{IdaConfig, NiaConfig, RiaConfig};
 use crate::solver::config::SolverConfig;
 use crate::solver::solvers::{
-    CaSolver, IdaGroupedSolver, IdaSolver, NiaSolver, RiaSolver, SaSolver, SspaSolver,
+    CaSolver, CoresetSolver, DaSolver, IdaGroupedSolver, IdaSolver, NiaSolver, RiaSolver, SaSolver,
+    SspaSolver,
 };
 use crate::solver::Solver;
 
@@ -22,7 +23,7 @@ pub type SolverFactory = fn(&SolverConfig) -> Box<dyn Solver>;
 /// let registry = SolverRegistry::with_defaults();
 /// let solver = registry.build(&SolverConfig::new("ida")).unwrap();
 /// assert_eq!(solver.name(), "ida");
-/// assert_eq!(registry.names().count(), 7);
+/// assert_eq!(registry.names().count(), 9);
 /// ```
 pub struct SolverRegistry {
     entries: Vec<(&'static str, SolverFactory)>,
@@ -36,8 +37,9 @@ impl SolverRegistry {
         }
     }
 
-    /// The seven paper algorithms under their canonical names:
-    /// `sspa`, `ria`, `nia`, `ida`, `ida-grouped`, `sa`, `ca`.
+    /// The seven paper algorithms plus the approximate scale-out tier,
+    /// under their canonical names: `sspa`, `ria`, `nia`, `ida`,
+    /// `ida-grouped`, `sa`, `ca`, `coreset`, `da`.
     pub fn with_defaults() -> Self {
         let mut r = Self::empty();
         r.register("sspa", |_| Box::new(SspaSolver));
@@ -85,6 +87,24 @@ impl SolverRegistry {
                 cfg: CaConfig {
                     delta: c.delta,
                     refine: c.refine,
+                },
+            })
+        });
+        r.register("coreset", |c| {
+            Box::new(CoresetSolver {
+                cfg: CoresetConfig {
+                    size: c.coreset_size,
+                    seed: c.sample_seed,
+                    swap_passes: c.swap_passes,
+                    refine: c.refine,
+                },
+            })
+        });
+        r.register("da", |c| {
+            Box::new(DaSolver {
+                cfg: DaConfig {
+                    temps: c.anneal_steps,
+                    ..DaConfig::default()
                 },
             })
         });
@@ -160,12 +180,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_registry_has_the_seven_algorithms() {
+    fn default_registry_has_the_nine_algorithms() {
         let r = SolverRegistry::with_defaults();
         let names: Vec<_> = r.names().collect();
         assert_eq!(
             names,
-            ["sspa", "ria", "nia", "ida", "ida-grouped", "sa", "ca"]
+            [
+                "sspa",
+                "ria",
+                "nia",
+                "ida",
+                "ida-grouped",
+                "sa",
+                "ca",
+                "coreset",
+                "da"
+            ]
         );
         for name in names {
             let solver = r.build_by_name(name).unwrap();

@@ -1,15 +1,41 @@
-//! The seven [`Solver`] implementations wrapping the algorithm entry
+//! The nine [`Solver`] implementations wrapping the algorithm entry
 //! points of [`crate::exact`], [`crate::approx`] and the SSPA baseline.
 
 use std::time::Instant;
 
 use cca_flow::sspa::{solve_complete_bipartite_warm_ctx, FlowCustomer, FlowProvider};
+use cca_geo::Point;
 
-use crate::approx::{ca_ctx, sa_ctx, CaConfig, SaConfig};
+use crate::approx::{
+    ca_ctx, coreset_points, da_points, sa_ctx, CaConfig, CoresetConfig, DaConfig, SaConfig,
+};
 use crate::exact::{ida, nia, ria, CustomerSource, IdaConfig, NiaConfig, RiaConfig};
 use crate::matching::{MatchPair, Matching};
 use crate::solver::{Problem, Solver};
 use crate::stats::AlgoStats;
+
+/// Collects the instance's customers as `(position, id)` items: directly
+/// from an attached in-memory slice, or by one context-charged full-tree
+/// sweep (the approximate tier's only unavoidable I/O). `None` when the
+/// sweep aborts.
+fn collect_items(problem: &Problem<'_>) -> Option<Vec<(Point, u64)>> {
+    match problem.customers() {
+        Some(slice) => Some(
+            slice
+                .iter()
+                .enumerate()
+                .map(|(i, &pos)| (pos, i as u64))
+                .collect(),
+        ),
+        None => {
+            let tree = problem.tree().expect("problems are tree- or slice-backed");
+            let mut items = Vec::new();
+            tree.for_each_point_ctx(problem.context(), |pos, id| items.push((pos, id)))
+                .ok()?;
+            Some(items)
+        }
+    }
+}
 
 /// A source for solvers that never consult one (SA/CA descend the R-tree
 /// directly; SSPA reads the customer slice when present). Avoids paying
@@ -304,5 +330,86 @@ impl Solver for CaSolver {
             .tree()
             .expect("ca requires an R-tree-backed problem");
         ca_ctx(problem.providers(), tree, &self.cfg, problem.context())
+    }
+}
+
+/// Capacity-aware coreset solver — the approximate scale-out tier. Samples
+/// customers into a small weighted set, solves it exactly through the
+/// `cca-flow` weighted SSPA / IDA path, lifts back and swap-refines inside
+/// R-tree neighbourhoods. Works on both tree- and slice-backed problems
+/// (the swap passes need a tree and are skipped otherwise).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoresetSolver {
+    pub cfg: CoresetConfig,
+}
+
+impl Solver for CoresetSolver {
+    fn name(&self) -> &'static str {
+        "coreset"
+    }
+
+    fn make_source<'a>(&self, _problem: &Problem<'a>) -> Box<dyn CustomerSource + 'a> {
+        Box::new(NoSource)
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem<'_>,
+        _source: &mut dyn CustomerSource,
+    ) -> (Matching, AlgoStats) {
+        let start = Instant::now();
+        let Some(items) = collect_items(problem) else {
+            return (
+                Matching::default(),
+                AlgoStats {
+                    cpu_time: start.elapsed(),
+                    ..Default::default()
+                },
+            );
+        };
+        coreset_points(
+            problem.providers(),
+            &items,
+            problem.tree(),
+            &self.cfg,
+            problem.context(),
+        )
+    }
+}
+
+/// Deterministic-annealing solver — the approximate tier's independent
+/// baseline. Anneals a capacity-priced soft assignment over each customer's
+/// K nearest providers, then hardens it into a feasible γ-unit matching.
+/// Works on both tree- and slice-backed problems.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaSolver {
+    pub cfg: DaConfig,
+}
+
+impl Solver for DaSolver {
+    fn name(&self) -> &'static str {
+        "da"
+    }
+
+    fn make_source<'a>(&self, _problem: &Problem<'a>) -> Box<dyn CustomerSource + 'a> {
+        Box::new(NoSource)
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem<'_>,
+        _source: &mut dyn CustomerSource,
+    ) -> (Matching, AlgoStats) {
+        let start = Instant::now();
+        let Some(items) = collect_items(problem) else {
+            return (
+                Matching::default(),
+                AlgoStats {
+                    cpu_time: start.elapsed(),
+                    ..Default::default()
+                },
+            );
+        };
+        da_points(problem.providers(), &items, &self.cfg, problem.context())
     }
 }

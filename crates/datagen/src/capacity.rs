@@ -14,6 +14,11 @@ pub enum CapacitySpec {
     Fixed(u32),
     /// Capacities drawn uniformly from `[lo, hi]` (Figure 12).
     Mixed { lo: u32, hi: u32 },
+    /// Capacities Zipf-skewed across `[lo, hi]`: value `v` is drawn with
+    /// probability ∝ `1 / (v − lo + 1)`, so most providers are small and a
+    /// few are large — the heavy-tailed fleets of the approximate-tier
+    /// workloads.
+    Zipf { lo: u32, hi: u32 },
 }
 
 impl CapacitySpec {
@@ -29,6 +34,20 @@ impl CapacitySpec {
                 let mut rng = StdRng::seed_from_u64(seed);
                 (0..n).map(|_| rng.random_range(lo..=hi)).collect()
             }
+            CapacitySpec::Zipf { lo, hi } => {
+                assert!(lo > 0 && lo <= hi, "invalid capacity range {lo}..={hi}");
+                let cum = zipf_cumulative(lo, hi);
+                let total = *cum.last().expect("non-empty range");
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n)
+                    .map(|_| {
+                        // Inverse-CDF draw over the harmonic weights.
+                        let r = rng.random_range(0.0..total);
+                        let i = cum.partition_point(|&c| c <= r).min(cum.len() - 1);
+                        lo + i as u32
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -37,6 +56,18 @@ impl CapacitySpec {
         match *self {
             CapacitySpec::Fixed(k) => f64::from(k),
             CapacitySpec::Mixed { lo, hi } => (f64::from(lo) + f64::from(hi)) / 2.0,
+            CapacitySpec::Zipf { lo, hi } => {
+                // Exact expectation over the harmonic weights: E[v] =
+                // Σ v/(v−lo+1) / H(hi−lo+1).
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for v in lo..=hi {
+                    let w = 1.0 / f64::from(v - lo + 1);
+                    num += f64::from(v) * w;
+                    den += w;
+                }
+                num / den
+            }
         }
     }
 
@@ -45,8 +76,20 @@ impl CapacitySpec {
         match *self {
             CapacitySpec::Fixed(k) => k.to_string(),
             CapacitySpec::Mixed { lo, hi } => format!("{lo}~{hi}"),
+            CapacitySpec::Zipf { lo, hi } => format!("zipf{lo}~{hi}"),
         }
     }
+}
+
+/// Cumulative harmonic weights for `Zipf`: entry `i` is `Σ_{j≤i} 1/(j+1)`.
+fn zipf_cumulative(lo: u32, hi: u32) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..=(hi - lo))
+        .map(|i| {
+            acc += 1.0 / f64::from(i + 1);
+            acc
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -83,6 +126,29 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_fixed_capacity_rejected() {
         CapacitySpec::Fixed(0).generate(1, 0);
+    }
+
+    #[test]
+    fn zipf_capacities_are_skewed_deterministic_and_in_range() {
+        let spec = CapacitySpec::Zipf { lo: 1, hi: 64 };
+        let caps = spec.generate(4000, 21);
+        assert!(caps.iter().all(|&k| (1..=64).contains(&k)));
+        // Heavy head: the smallest value alone should outnumber the whole
+        // top half of the range (1/1 vs Σ 1/33..1/64 of the mass).
+        let small = caps.iter().filter(|&&k| k == 1).count();
+        let large = caps.iter().filter(|&&k| k > 32).count();
+        assert!(small > large, "head {small} vs tail {large}");
+        // Exact mean ≈ (range/H) for this weighting; check against the
+        // empirical average.
+        let emp = caps.iter().map(|&k| f64::from(k)).sum::<f64>() / caps.len() as f64;
+        assert!(
+            (emp - spec.mean()).abs() / spec.mean() < 0.1,
+            "empirical {emp} vs exact {}",
+            spec.mean()
+        );
+        assert_eq!(caps, spec.generate(4000, 21), "same seed, same fleet");
+        assert_ne!(caps, spec.generate(4000, 22), "seed changes the fleet");
+        assert_eq!(spec.label(), "zipf1~64");
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub enum SpatialDistribution {
     Uniform,
     /// 80 % in `clusters` dense clusters, 20 % uniform ("C").
     Clustered,
+    /// 80 % across `clusters` Zipf-populated clusters ("Z"): the cluster of
+    /// rank `r` receives mass ∝ `1/(r+1)`, so a handful of districts hold
+    /// most of the customers — the million-customer skew the approximate
+    /// tier is benchmarked on. Centres derive from the point seed (not the
+    /// map seed), so independently generated sets skew differently.
+    ZipfClustered { clusters: u32 },
 }
 
 impl SpatialDistribution {
@@ -26,6 +32,7 @@ impl SpatialDistribution {
         match self {
             SpatialDistribution::Uniform => "U",
             SpatialDistribution::Clustered => "C",
+            SpatialDistribution::ZipfClustered { .. } => "Z",
         }
     }
 }
@@ -75,6 +82,38 @@ pub fn generate_points(
                 let c = centers[rng.random_range(0..centers.len())];
                 // Gaussian offset around the centre, snapped back onto the
                 // nearest street segment so points stay on the network.
+                let (dx, dy) = gaussian_pair(&mut rng);
+                let raw = Point::new(c.x + dx * CLUSTER_SIGMA, c.y + dy * CLUSTER_SIGMA);
+                pts.push(snap.snap(net, raw));
+            }
+            for _ in n_clustered..n {
+                pts.push(sampler.sample(net, &mut rng));
+            }
+            pts
+        }
+        SpatialDistribution::ZipfClustered { clusters } => {
+            assert!(clusters > 0, "zipf-clustered generation needs clusters");
+            // Centres come from the point seed so each generated set has
+            // its own skew pattern; ranks are the draw order.
+            let mut crng = StdRng::seed_from_u64(seed ^ 0x21bf_c143);
+            let centers: Vec<Point> = (0..clusters)
+                .map(|_| sampler.sample(net, &mut crng))
+                .collect();
+            // Cumulative harmonic weights: cluster r gets mass ∝ 1/(r+1).
+            let mut acc = 0.0;
+            let cum: Vec<f64> = (0..clusters)
+                .map(|r| {
+                    acc += 1.0 / f64::from(r + 1);
+                    acc
+                })
+                .collect();
+            let total = *cum.last().expect("clusters > 0");
+            let snap = SnapIndex::new(net);
+            let n_clustered = (n as f64 * CLUSTER_FRACTION).round() as usize;
+            let mut pts = Vec::with_capacity(n);
+            for _ in 0..n_clustered {
+                let r = rng.random_range(0.0..total);
+                let c = centers[cum.partition_point(|&c| c <= r).min(centers.len() - 1)];
                 let (dx, dy) = gaussian_pair(&mut rng);
                 let raw = Point::new(c.x + dx * CLUSTER_SIGMA, c.y + dy * CLUSTER_SIGMA);
                 pts.push(snap.snap(net, raw));
@@ -314,6 +353,38 @@ mod tests {
         assert_eq!(a, b);
         let c = generate_points(&net, &ctrs, 50, SpatialDistribution::Clustered, 100);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_clustered_points_are_deterministic_skewed_and_on_network() {
+        let net = net();
+        let dist = SpatialDistribution::ZipfClustered { clusters: 12 };
+        let a = generate_points(&net, &[], 1500, dist, 41);
+        assert_eq!(a.len(), 1500);
+        for p in &a {
+            assert!(
+                dist_to_network(&net, *p) < 1e-6,
+                "zipf point {p} not on any street"
+            );
+        }
+        assert_eq!(a, generate_points(&net, &[], 1500, dist, 41));
+        assert_ne!(a, generate_points(&net, &[], 1500, dist, 42));
+        // More skewed than plain clustered: fewer occupied coarse cells.
+        let occupied = |pts: &[Point]| {
+            let mut cells = std::collections::HashSet::new();
+            for p in pts {
+                cells.insert(((p.x / 50.0) as i32, (p.y / 50.0) as i32));
+            }
+            cells.len()
+        };
+        let u = generate_points(&net, &[], 1500, SpatialDistribution::Uniform, 41);
+        assert!(
+            occupied(&a) < occupied(&u),
+            "zipf {} cells vs uniform {} cells",
+            occupied(&a),
+            occupied(&u)
+        );
+        assert_eq!(dist.label(), "Z");
     }
 
     #[test]

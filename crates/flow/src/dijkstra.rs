@@ -344,6 +344,36 @@ impl DijkstraState {
             v = g.arc_from(a);
         }
     }
+
+    /// Augments as many units along the recorded shortest path to `t` as
+    /// its bottleneck residual capacity admits, capped at `limit`; returns
+    /// the amount pushed.
+    ///
+    /// Every unit on one shortest path has the same cost, and pushing the
+    /// full bottleneck keeps SSPA's invariant intact (the saturated arc
+    /// leaves the residual graph, the reverse arcs enter with reduced cost
+    /// 0 after the potential update), so bulk augmentation yields the same
+    /// optimum as unit augmentation with far fewer searches on weighted
+    /// instances — the lever the coreset tier's aggregated customer units
+    /// rely on.
+    pub fn augment_bottleneck(&self, g: &mut FlowGraph, t: NodeId, limit: u32) -> u32 {
+        let mut bottleneck = limit;
+        let mut v = t;
+        while v != self.source {
+            let a = self.parent_arc(v);
+            assert_ne!(a, NO_ARC, "no path recorded to node {v}");
+            bottleneck = bottleneck.min(g.residual_cap(a));
+            v = g.arc_from(a);
+        }
+        debug_assert!(bottleneck > 0, "augmenting along a saturated path");
+        let mut v = t;
+        while v != self.source {
+            let a = self.parent_arc(v);
+            g.push_flow(a, bottleneck);
+            v = g.arc_from(a);
+        }
+        bottleneck
+    }
 }
 
 impl Default for DijkstraState {

@@ -73,7 +73,10 @@ pub fn required_flow(providers: &[FlowProvider], customers: &[FlowCustomer]) -> 
 /// Statistics reported by [`solve_complete_bipartite`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SspaStats {
-    /// Augmenting iterations performed (= γ).
+    /// Augmenting iterations (shortest-path searches) performed. Equals
+    /// the installed flow for unit augmentation (= γ on completion); the
+    /// bulk variant pushes the path bottleneck per search, so there it is
+    /// typically far below γ.
     pub iterations: u64,
     /// Edges in the flow graph (|Q|·|P| + |Q| + |P| for the baseline).
     pub edges: u64,
@@ -240,6 +243,39 @@ pub fn solve_complete_bipartite_warm_ctx(
     ctx: Option<&QueryContext>,
     cache: Option<&SspaCache>,
 ) -> Result<(Assignment, SspaStats), FlowAborted> {
+    solve_inner(providers, customers, ctx, cache, false)
+}
+
+/// [`solve_complete_bipartite_ctx`] with *bottleneck* augmentation: each
+/// shortest-path search pushes the path's full residual capacity instead of
+/// a single unit.
+///
+/// Every unit routed along one shortest path costs the same, and after the
+/// push the saturated arc leaves the residual graph while the potential
+/// update restores `rc ≥ 0` everywhere — the §2.2 loop invariant — so the
+/// result is the *same exact optimum* as unit augmentation. What changes is
+/// the search count: each augmentation saturates at least one source or
+/// sink arc, bounding the number of Dijkstra runs by `|Q| + |P|` instead of
+/// `γ`. On weighted instances (the coreset tier's aggregated customer
+/// units, CA's concise matching) this is the difference between `γ`
+/// searches and a handful. [`SspaStats::iterations`] counts searches, so it
+/// no longer equals the installed flow here — read [`Assignment::size`]
+/// for that.
+pub fn solve_complete_bipartite_bulk_ctx(
+    providers: &[FlowProvider],
+    customers: &[FlowCustomer],
+    ctx: Option<&QueryContext>,
+) -> Result<(Assignment, SspaStats), FlowAborted> {
+    solve_inner(providers, customers, ctx, None, true)
+}
+
+fn solve_inner(
+    providers: &[FlowProvider],
+    customers: &[FlowCustomer],
+    ctx: Option<&QueryContext>,
+    cache: Option<&SspaCache>,
+    bulk: bool,
+) -> Result<(Assignment, SspaStats), FlowAborted> {
     let mut g = FlowGraph::with_nodes(2 + providers.len() + customers.len());
     let s: NodeId = 0;
     let t: NodeId = 1;
@@ -311,7 +347,8 @@ pub fn solve_complete_bipartite_warm_ctx(
         }
         asg
     };
-    for _ in warm_units..gamma {
+    let mut units = warm_units;
+    while units < gamma {
         // Iteration-head poll, plus stride polls inside the search: the
         // committed units always form a valid partial assignment, and an
         // in-flight (un-augmented) search never mutates the flow, so both
@@ -326,7 +363,13 @@ pub fn solve_complete_bipartite_warm_ctx(
         match searched {
             Ok(Some(alpha_t)) => {
                 settled += dij.settled_nodes().len() as u64;
-                dij.augment_unit(&mut g, t);
+                if bulk {
+                    let remaining = (gamma - units).min(u64::from(u32::MAX)) as u32;
+                    units += u64::from(dij.augment_bottleneck(&mut g, t, remaining));
+                } else {
+                    dij.augment_unit(&mut g, t);
+                    units += 1;
+                }
                 g.update_potentials(dij.settled_nodes(), |v| dij.alpha(v), alpha_t);
                 iterations += 1;
             }
@@ -754,6 +797,74 @@ mod tests {
                 "warm {} vs cold {}", warm.cost, cold.cost
             );
             proptest::prop_assert_eq!(warm.size(), cold.size());
+        }
+    }
+
+    #[test]
+    fn bulk_augmentation_matches_unit_on_weighted_instances() {
+        // A weight-3 representative split across two providers: unit mode
+        // needs 3 searches, bulk saturates whole arcs and needs at most
+        // |Q| + |P| = 3.
+        let providers = [q(0.0, 0.0, 2), q(10.0, 0.0, 2)];
+        let customers = [FlowCustomer {
+            pos: Point::new(4.0, 0.0),
+            weight: 3,
+        }];
+        let (unit, unit_stats) = solve_complete_bipartite(&providers, &customers);
+        let (bulk, bulk_stats) =
+            solve_complete_bipartite_bulk_ctx(&providers, &customers, None).unwrap();
+        assert_eq!(bulk.size(), unit.size());
+        assert!((bulk.cost - unit.cost).abs() < 1e-9);
+        assert_eq!(unit_stats.iterations, 3);
+        assert!(
+            bulk_stats.iterations < unit_stats.iterations,
+            "bulk pushed more than one unit per search ({} searches)",
+            bulk_stats.iterations
+        );
+    }
+
+    #[test]
+    fn bulk_augmentation_respects_context_aborts() {
+        use std::time::{Duration, Instant};
+        let providers = [q(0.0, 0.0, 2)];
+        let customers = [p(1.0, 0.0), p(2.0, 0.0)];
+        let ctx = QueryContext::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err =
+            solve_complete_bipartite_bulk_ctx(&providers, &customers, Some(&ctx)).unwrap_err();
+        assert_eq!(err.reason, AbortReason::DeadlineExceeded);
+        assert_eq!(err.partial.size(), 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// Bottleneck augmentation is exact: on any random weighted
+        /// instance it reproduces the unit-augmentation optimum (cost and
+        /// size) with no more searches than units.
+        #[test]
+        fn prop_bulk_cost_equals_unit(
+            seed in 0u64..10_000,
+            nq in 1usize..6,
+            np in 1usize..20,
+            max_cap in 1u32..6,
+            max_w in 1u32..5,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let (providers, mut customers) = random_instance(seed, nq, np, max_cap);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xb01d);
+            for c in &mut customers {
+                c.weight = rng.random_range(1..=max_w);
+            }
+            let (unit, unit_stats) = solve_complete_bipartite(&providers, &customers);
+            let (bulk, bulk_stats) =
+                solve_complete_bipartite_bulk_ctx(&providers, &customers, None).unwrap();
+            let tol = 1e-9 * unit.cost.max(1.0);
+            proptest::prop_assert_eq!(bulk.size(), unit.size());
+            proptest::prop_assert!(
+                (bulk.cost - unit.cost).abs() <= tol,
+                "bulk {} vs unit {}", bulk.cost, unit.cost
+            );
+            proptest::prop_assert!(bulk_stats.iterations <= unit_stats.iterations);
         }
     }
 

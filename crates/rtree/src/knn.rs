@@ -275,6 +275,39 @@ impl RTree {
             None => Ok(hits),
         }
     }
+
+    /// Bounded-radius kNN: up to `k` nearest neighbours of `query` whose
+    /// distance is at most `max_dist`, in ascending order.
+    ///
+    /// The incremental cursor yields neighbours nearest-first, so the
+    /// search stops expanding the moment the head distance exceeds the
+    /// radius — a neighbourhood probe (the approximate tier's swap
+    /// refinement) pays only for the pages covering the ball it actually
+    /// inspects, not for a full kNN frontier. I/O is charged to `ctx` and
+    /// aborts surface as the typed error.
+    pub fn knn_within_ctx(
+        &self,
+        query: Point,
+        k: usize,
+        max_dist: f64,
+        ctx: Option<&QueryContext>,
+    ) -> Result<Vec<(Point, ItemId, f64)>, Aborted> {
+        let mut cursor = self.inc_nn_ctx(query, ctx);
+        let mut hits = Vec::new();
+        for (p, id, d) in cursor.by_ref() {
+            if d > max_dist {
+                break;
+            }
+            hits.push((p, id, d));
+            if hits.len() == k {
+                break;
+            }
+        }
+        match cursor.abort_reason() {
+            Some(reason) => Err(Aborted { reason }),
+            None => Ok(hits),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +396,28 @@ mod tests {
         }
         assert_eq!(cur.peek_dist(), None);
         assert!(cur.next().is_none());
+    }
+
+    #[test]
+    fn knn_within_respects_both_bounds() {
+        let items = random_items(2000, 26);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
+        let q = Point::new(500.0, 500.0);
+        let radius = 40.0;
+        let within = tree.knn_within_ctx(q, usize::MAX, radius, None).unwrap();
+        let want: Vec<(ItemId, f64)> = brute_knn(&items, q, 2000)
+            .into_iter()
+            .filter(|&(_, d)| d <= radius)
+            .collect();
+        assert_eq!(within.len(), want.len());
+        assert!(within.iter().all(|&(_, _, d)| d <= radius));
+        assert!(within.windows(2).all(|w| w[0].2 <= w[1].2));
+        // The k cap truncates the same prefix.
+        let capped = tree.knn_within_ctx(q, 3, radius, None).unwrap();
+        assert_eq!(capped.len(), 3.min(want.len()));
+        for (c, w) in capped.iter().zip(&within) {
+            assert_eq!(c.1, w.1);
+        }
     }
 
     #[test]

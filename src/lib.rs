@@ -42,6 +42,15 @@
 //! solve cannot overshoot. The legacy [`Algorithm`] enum is kept as a thin
 //! back-compat wrapper that maps onto [`SolverConfig`]s.
 //!
+//! Since PR 8 the registry also carries an **approximate tier** for
+//! instances beyond exact reach: `SolverConfig::new("coreset")` solves
+//! exactly on a capacity-aware importance-sampled coreset and lifts the
+//! assignment back (bounded swap refinement in R-tree neighbourhoods),
+//! and `SolverConfig::new("da")` runs deterministic-annealing Gibbs
+//! assignment — both feasible by construction, context-abortable with
+//! partial results, and selectable by name end-to-end with no protocol
+//! changes.
+//!
 //! Sub-crates (re-exported below): [`geo`] geometry, [`storage`] the paged
 //! disk + LRU buffer, [`rtree`] the spatial index, [`flow`] the min-cost-flow
 //! substrate, [`core`] the CCA algorithms and solver pipeline, [`serve`] the

@@ -294,6 +294,78 @@ fn one_instance_serves_batches_and_concurrent_tenants_with_typed_shedding() {
     gateway.instance().tenant_stats();
 }
 
+/// PR 8: the approximate tier is reachable by name through the unchanged
+/// wire protocol — `coreset` and `da` solve a loopback client's requests
+/// end-to-end, admission and per-tenant attribution hold, and a doomed
+/// I/O budget still surfaces as the same typed abort carrying exact
+/// partial attribution.
+#[test]
+fn approximate_solvers_serve_by_name_with_attribution_and_typed_aborts() {
+    let data = dataset();
+    let store_before = data.tree().store().io_stats();
+    let gateway = Arc::new(
+        Gateway::builder()
+            .serve_config(ServeConfig::default().workers(1).queue_capacity(4))
+            .dataset("paper", Arc::clone(&data))
+            .start(),
+    );
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&gateway)).unwrap();
+    let mut client = NetClient::connect(server.local_addr(), TENANT_A).unwrap();
+
+    // Coreset against the disk-backed dataset: a genuinely subsampled run
+    // (256 reps for 2 000 customers) must still return the full matching —
+    // feasibility is by construction, γ = min(2 000, 8·300).
+    let reply = client
+        .solve(SolveRequest::new(
+            SolverConfig::new("coreset")
+                .coreset_size(256)
+                .swap_passes(1),
+            ProblemSpec::Dataset("paper".into()),
+        ))
+        .unwrap();
+    assert_eq!(reply.matching.size(), 2_000, "lifted matching is full-size");
+
+    // Deterministic annealing on an inline problem, same wire path.
+    let reply = client
+        .solve(SolveRequest::new(SolverConfig::new("da"), quick_problem()))
+        .unwrap();
+    assert_eq!(reply.matching.size(), 60, "da hardens to a full matching");
+
+    // A 1-fault budget cannot even sweep the customer pages: the abort
+    // comes back as the existing typed wire error with exact partial
+    // attribution, no new protocol surface.
+    let fault = server_fault(
+        client
+            .solve(
+                SolveRequest::new(
+                    SolverConfig::new("coreset"),
+                    ProblemSpec::Dataset("paper".into()),
+                )
+                .io_budget(1),
+            )
+            .unwrap_err(),
+    );
+    assert_eq!(fault.code, ErrorCode::IoBudgetExceeded);
+    let partial = fault.partial_stats.expect("aborts carry partial stats");
+    assert_eq!(partial.io.faults, 1, "charged exactly the budget");
+
+    // Admission ledger and I/O attribution cover the approximate tier like
+    // any other solver: 2 completions + 1 abort, and tenant A's attributed
+    // faults equal the store-wide delta (it was the only tenant).
+    let stats = client.stats().unwrap().tenants;
+    let a = stats
+        .iter()
+        .find(|s| s.tenant == TENANT_A)
+        .expect("tenant A visible over the wire");
+    assert_eq!(a.completed, 2);
+    assert_eq!(a.aborted, 1);
+    let store_delta = data.tree().store().io_stats().since(&store_before);
+    assert_eq!(a.io.faults, store_delta.faults, "attribution sums exactly");
+    assert!(store_delta.faults > 0, "the dataset solve faulted pages");
+
+    server.shutdown();
+}
+
 #[test]
 fn version_mismatch_and_garbage_frames_get_typed_errors() {
     let gateway = Arc::new(

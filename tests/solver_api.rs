@@ -33,12 +33,20 @@ fn oracle_cost(instance: &SpatialAssignment) -> f64 {
 /// Registry round-trip: every registered solver name resolves, solves a
 /// small instance through the façade, and (with δ driven to ~0 for the
 /// approximations, a wide θ for RIA) lands on the SSPA-optimal cost.
+/// The approximate tier rides the same loop: `coreset` degenerates to an
+/// exact solve at this size (auto coreset size ≥ n), while `da` is only
+/// held to a constant-factor band — annealing has no per-instance
+/// optimality guarantee.
 #[test]
 fn every_registered_solver_reaches_the_optimal_cost() {
     let instance = small_instance(301);
     let want = oracle_cost(&instance);
     let registry = SolverRegistry::with_defaults();
-    assert_eq!(registry.names().count(), 7, "the paper's seven algorithms");
+    assert_eq!(
+        registry.names().count(),
+        9,
+        "the paper's seven algorithms plus the approximate tier"
+    );
 
     for name in registry.names() {
         let config = SolverConfig::new(name).theta(30.0).delta(1e-9);
@@ -46,11 +54,19 @@ fn every_registered_solver_reaches_the_optimal_cost() {
             .run_config(&config)
             .unwrap_or_else(|e| panic!("{e}"));
         r.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(
-            (r.cost() - want).abs() < 1e-6,
-            "{name}: cost {} vs oracle {want}",
-            r.cost()
-        );
+        if name == "da" {
+            assert!(
+                r.cost() < 3.0 * want,
+                "da: cost {} vs oracle {want}",
+                r.cost()
+            );
+        } else {
+            assert!(
+                (r.cost() - want).abs() < 1e-6,
+                "{name}: cost {} vs oracle {want}",
+                r.cost()
+            );
+        }
     }
 }
 
