@@ -171,16 +171,24 @@ fn main() {
         });
     }
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let body: Vec<String> = rows
         .iter()
         .map(|r| {
+            // Worker counts beyond the host's cores measure scheduling
+            // overhead, not scaling — tag those rows so chart tooling can
+            // drop them instead of readers having to know the host.
+            let oversub = if r.workers > host_cores {
+                ", \"oversubscribed\": true"
+            } else {
+                ""
+            };
             format!(
-                "    {{\"workload\": \"{}\", \"workers\": {}, \"qps\": {:.2}}}",
-                r.workload, r.workers, r.qps
+                "    {{\"workload\": \"{}\", \"workers\": {}, \"qps\": {:.2}{}}}",
+                r.workload, r.workers, r.qps, oversub
             )
         })
         .collect();
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"config\": {{\"customers\": 12000, \
          \"providers\": 24, \"page_size\": 1024, \"buffer_percent\": 8.0, \"shards\": 8, \

@@ -3,8 +3,8 @@
 
 use std::time::Instant;
 
-use cca_core::RefineMethod;
-use cca_datagen::{CapacitySpec, SpatialDistribution, WorkloadConfig};
+use cca_core::{ContinuousAssignment, ContinuousConfig, RefineMethod, WorldEvent};
+use cca_datagen::{ArrivalProcess, CapacitySpec, SpatialDistribution, StreamEvent, WorkloadConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +84,44 @@ fn main() {
             r.stats.dijkstra_runs,
             r.stats.invalid_paths,
             r.stats.cpu_time,
+        );
+    }
+
+    // Dynamic-workload probe: events/sec through the continuous engine on a
+    // mixed stream, with the repair-tier breakdown.
+    if want("dyn") {
+        let mut stream = ArrivalProcess::new(&w, 2008);
+        let t0 = Instant::now();
+        let mut engine = ContinuousAssignment::build(
+            w.providers.clone(),
+            w.customers.clone(),
+            ContinuousConfig::default(),
+        );
+        eprintln!("  dyn  build+initial solve: {:?}", t0.elapsed());
+        let events = 2_000u64;
+        let t0 = Instant::now();
+        for _ in 0..events {
+            let ev = match stream.next_event() {
+                StreamEvent::CustomerArrive { id, pos } => WorldEvent::CustomerArrive { id, pos },
+                StreamEvent::CustomerDepart { id, .. } => WorldEvent::CustomerDepart { id },
+                StreamEvent::ProviderCapacityDelta { index, delta } => {
+                    WorldEvent::ProviderCapacityDelta { index, delta }
+                }
+                StreamEvent::ProviderMove { index, to } => WorldEvent::ProviderMove { index, to },
+            };
+            engine.apply(ev, None);
+        }
+        let wall = t0.elapsed();
+        let s = engine.stats();
+        eprintln!(
+            "  dyn  {events} events in {wall:?} ({:.0} ev/s) local={} expand={} full={} warm={} evicted={} deficit={}",
+            events as f64 / wall.as_secs_f64(),
+            s.local_repairs,
+            s.expansions,
+            s.full_resolves,
+            s.warm_full_resolves,
+            s.evicted,
+            engine.deficit(),
         );
     }
 }

@@ -12,10 +12,13 @@
 //! * `approx` — SA and CA (§4) with NN-based and exclusive-NN refinement and
 //!   the error bounds of Theorems 3–4, plus the approximate scale-out tier
 //!   (capacity-aware coresets, deterministic annealing).
+//! * [`dynamic`] — the continuous-assignment engine: a feasible matching
+//!   maintained incrementally under a stream of world events.
 //! * [`matching`] / [`stats`] — result and measurement types shared by all
 //!   algorithms and by the benchmark harness.
 
 pub mod approx;
+pub mod dynamic;
 pub mod exact;
 pub mod matching;
 pub mod solver;
@@ -24,6 +27,9 @@ pub mod stats;
 pub use approx::{
     ca, ca_ctx, ca_error_bound, coreset, coreset_ctx, da, da_ctx, sa, sa_ctx, sa_error_bound,
     CaConfig, CoresetConfig, DaConfig, RefineMethod, SaConfig,
+};
+pub use dynamic::{
+    ContinuousAssignment, ContinuousConfig, DynamicStats, EventReport, RepairKind, WorldEvent,
 };
 pub use exact::{
     ida, nia, ria, CustomerSource, IdaConfig, IdaKeyMode, MemorySource, NiaConfig, RiaConfig,

@@ -18,4 +18,4 @@ pub mod workload;
 pub use capacity::CapacitySpec;
 pub use network::RoadNetwork;
 pub use spatial::{generate_points, SpatialDistribution};
-pub use workload::{Workload, WorkloadConfig};
+pub use workload::{ArrivalProcess, StreamEvent, Workload, WorkloadConfig};

@@ -33,6 +33,6 @@ pub use dijkstra::{DijkstraState, EPS};
 pub use graph::{ArcId, FlowGraph, NodeId, NO_ARC};
 pub use sspa::{
     required_flow, solve_complete_bipartite, solve_complete_bipartite_ctx,
-    solve_complete_bipartite_warm_ctx, unit_customers, Assignment, FlowAborted, FlowCustomer,
-    FlowProvider, SspaCache, SspaStats,
+    solve_complete_bipartite_warm_ctx, unit_customers, Assignment, CacheDelta, FlowAborted,
+    FlowCustomer, FlowProvider, SspaCache, SspaState, SspaStats,
 };

@@ -106,6 +106,48 @@ struct CachedState {
     pairs: Vec<(u32, u32, u32)>,
 }
 
+/// A publicly inspectable primal-dual state: the potentials of a completed
+/// solve in node order `s, t, Q…, P…` plus its flow triples
+/// `(provider, customer, units)`. Returned by [`SspaCache::state`] and
+/// accepted by [`SspaCache::prime`], so an incremental engine can carry a
+/// solve's certificate across instances (e.g. restrict a global solution to
+/// a neighbourhood subproblem and resume there). A primed state is *never
+/// trusted*: the resume path re-verifies the reduced-cost certificate
+/// against the instance it is applied to, so a wrong state costs warm-start
+/// rate, not correctness.
+#[derive(Clone, Debug)]
+pub struct SspaState {
+    pub tau: Vec<f64>,
+    pub pairs: Vec<(u32, u32, u32)>,
+}
+
+/// An incremental world change applied to a cached solve state via
+/// [`SspaCache::apply_delta`], in the *solve order* of the instance the
+/// entry was published for. Customer removal uses swap-with-last index
+/// semantics (the last customer takes the removed one's index), so callers
+/// maintaining a mirror ordering must apply the same swap.
+#[derive(Clone, Copy, Debug)]
+pub enum CacheDelta<'a> {
+    /// Customer at solve-order `index` (weight `weight`) left the instance.
+    RemoveCustomer { index: usize, weight: u32 },
+    /// A customer of `weight` arrived at `pos`, appended at the end of the
+    /// solve order. `providers` must be the instance's providers in solve
+    /// order (needed to derive a potential for the new node).
+    AddCustomer {
+        pos: Point,
+        weight: u32,
+        providers: &'a [FlowProvider],
+    },
+    /// Provider `index`'s capacity changed from `old_cap` to `new_cap`.
+    SetProviderCapacity {
+        index: usize,
+        old_cap: u32,
+        new_cap: u32,
+    },
+    /// Provider `index` moved: every incident arc cost changed.
+    MoveProvider { index: usize },
+}
+
 /// A cross-query warm-start cache for SSPA.
 ///
 /// A completed solve publishes its final state — node potentials *and* the
@@ -162,6 +204,176 @@ impl SspaCache {
     fn store(&self, key: CacheKey, state: CachedState) {
         *self.entry.lock().expect("sspa cache poisoned") = Some((key, state));
     }
+
+    /// Drops the cached entry (the next solve through this cache runs cold).
+    pub fn clear(&self) {
+        *self.entry.lock().expect("sspa cache poisoned") = None;
+    }
+
+    /// A clone of the cached primal-dual state, if any.
+    pub fn state(&self) -> Option<SspaState> {
+        let entry = self.entry.lock().expect("sspa cache poisoned");
+        entry.as_ref().map(|(_, s)| SspaState {
+            tau: s.tau.clone(),
+            pairs: s.pairs.clone(),
+        })
+    }
+
+    /// Seeds the cache with an externally assembled state for the instance
+    /// `(providers, customers)`, replacing any current entry. The state is
+    /// installed under that instance's shape key and will be verified by the
+    /// reduced-cost gate on the next solve — priming can only *enable* a
+    /// warm resume, never corrupt a result.
+    pub fn prime(&self, providers: &[FlowProvider], customers: &[FlowCustomer], state: SspaState) {
+        self.store(
+            cache_key(providers, customers),
+            CachedState {
+                tau: state.tau,
+                pairs: state.pairs,
+            },
+        );
+    }
+
+    /// Evolves the cached state in place to track an incremental change to
+    /// the world, so the *next* same-shaped solve can still resume warm
+    /// instead of the key mismatching (or the certificate failing) after
+    /// every event.
+    ///
+    /// Returns `true` when a certified entry survives the delta. When the
+    /// change cannot be certified cheaply — a provider moved (all incident
+    /// arc costs changed), an arrival undercuts the cached marginal cost, a
+    /// capacity cut forces flow off a provider — the entry is dropped and
+    /// `false` is returned: the next solve runs cold and republishes.
+    ///
+    /// Soundness never depends on this bookkeeping: the resume path
+    /// re-verifies the full `rc ≥ 0` certificate against the current
+    /// instance, so `apply_delta` only preserves (or gives up) the warm
+    /// start. The certification arguments used here, per variant:
+    ///
+    /// * `RemoveCustomer` — an unmatched departure only removes residual
+    ///   arcs and always survives. A matched departure frees source
+    ///   capacity, re-exposing `s → q` with reduced cost `τ(q) − τ(s)`;
+    ///   since `τ(s)` accumulates `α(t)` every augmentation it generally
+    ///   dominates, so the entry survives only when the serving providers'
+    ///   potentials still cover `τ(s)` (true while they keep residual
+    ///   capacity, i.e. in the customer-surplus regime).
+    /// * `AddCustomer` — the new node needs `τ(q) − d(q, p) ≤ τ(p) ≤ τ(t)`
+    ///   for every provider `q`; when the interval is empty the arrival is
+    ///   cheaper than the cached marginal and the flow is stale.
+    /// * `SetProviderCapacity` — an increase re-exposes `s → q` (same bound
+    ///   as above); a decrease that still covers the provider's cached load
+    ///   only removes residual capacity. A cut below the load would have to
+    ///   un-push flow, which breaks complementary slackness.
+    /// * `MoveProvider` — every incident cost changed; nothing survives.
+    pub fn apply_delta(&self, delta: CacheDelta<'_>) -> bool {
+        let mut entry = self.entry.lock().expect("sspa cache poisoned");
+        let Some((key, state)) = entry.as_mut() else {
+            return false;
+        };
+        let (nq, np) = (key.0, key.1);
+        let slack = crate::dijkstra::EPS * 100.0;
+        let ok = match delta {
+            CacheDelta::RemoveCustomer { index, weight } => {
+                if index >= np {
+                    false
+                } else {
+                    // Dropping the customer's flow re-exposes `s → q` on the
+                    // providers that served it; the freed residual arc needs
+                    // `τ(q) ≥ τ(s)`. When that fails, the remaining flow is
+                    // genuinely not minimum-cost for its value (the freed
+                    // slot may be cheaper to fill another way), so the entry
+                    // cannot survive. An unmatched customer only removes
+                    // arcs and always keeps the certificate.
+                    let tau_s = state.tau[0];
+                    let freed_breaks = state
+                        .pairs
+                        .iter()
+                        .filter(|&&(_, p, _)| p as usize == index)
+                        .any(|&(q, _, _)| state.tau[2 + q as usize] < tau_s - slack);
+                    if freed_breaks {
+                        false
+                    } else {
+                        let last = np - 1;
+                        state.tau.swap_remove(2 + nq + index);
+                        state.pairs.retain(|&(_, p, _)| p as usize != index);
+                        for pair in &mut state.pairs {
+                            if pair.1 as usize == last {
+                                pair.1 = index as u32;
+                            }
+                        }
+                        key.1 -= 1;
+                        key.3 = key.3.saturating_sub(u64::from(weight));
+                        true
+                    }
+                }
+            }
+            CacheDelta::AddCustomer {
+                pos,
+                weight,
+                providers,
+            } => {
+                if providers.len() != nq {
+                    false
+                } else {
+                    let tau_t = state.tau[1];
+                    let lower = providers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, q)| state.tau[2 + i] - q.pos.dist(&pos))
+                        .fold(0.0f64, f64::max);
+                    if lower > tau_t + slack {
+                        // The arrival beats the cached marginal: the flow
+                        // is no longer min-cost for its value.
+                        false
+                    } else {
+                        state.tau.push(lower.min(tau_t));
+                        key.1 += 1;
+                        key.3 += u64::from(weight);
+                        true
+                    }
+                }
+            }
+            CacheDelta::SetProviderCapacity {
+                index,
+                old_cap,
+                new_cap,
+            } => {
+                if index >= nq {
+                    false
+                } else {
+                    let load: u64 = state
+                        .pairs
+                        .iter()
+                        .filter(|&&(q, _, _)| q as usize == index)
+                        .map(|&(_, _, u)| u64::from(u))
+                        .sum();
+                    let grows = new_cap > old_cap;
+                    let freed_ok = state.tau[2 + index] >= state.tau[0] - slack;
+                    if load > u64::from(new_cap) || (grows && !freed_ok) {
+                        false
+                    } else {
+                        key.2 = key.2 - u64::from(old_cap) + u64::from(new_cap);
+                        true
+                    }
+                }
+            }
+            CacheDelta::MoveProvider { .. } => false,
+        };
+        if !ok {
+            *entry = None;
+        }
+        ok
+    }
+}
+
+/// The shape key of an instance (shared by the solver and [`SspaCache::prime`]).
+fn cache_key(providers: &[FlowProvider], customers: &[FlowCustomer]) -> CacheKey {
+    (
+        providers.len(),
+        customers.len(),
+        providers.iter().map(|q| u64::from(q.cap)).sum(),
+        customers.iter().map(|p| u64::from(p.weight)).sum(),
+    )
 }
 
 /// An SSPA solve cut short by its [`QueryContext`] (cancellation or an
@@ -307,12 +519,7 @@ fn solve_inner(
         .map(|(j, p)| g.add_edge(p_node(j), t, p.weight, 0.0))
         .collect();
 
-    let key: CacheKey = (
-        providers.len(),
-        customers.len(),
-        providers.iter().map(|q| u64::from(q.cap)).sum(),
-        customers.iter().map(|p| u64::from(p.weight)).sum(),
-    );
+    let key = cache_key(providers, customers);
     let mut warm_units = 0u64;
     if let Some(state) = cache.and_then(|c| c.load(key)) {
         warm_units = try_resume(
@@ -795,6 +1002,257 @@ mod tests {
             proptest::prop_assert!(
                 (warm.cost - cold.cost).abs() <= tol,
                 "warm {} vs cold {}", warm.cost, cold.cost
+            );
+            proptest::prop_assert_eq!(warm.size(), cold.size());
+        }
+    }
+
+    #[test]
+    fn apply_delta_remove_customer_keeps_warm_resume() {
+        let (providers, mut customers) = random_instance(11, 5, 40, 3);
+        let cache = SspaCache::new();
+        let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+        // Scarce regime (Σcap < |P|): most customers are unmatched. Removing
+        // one of those only drops zero-flow arcs, so the entry must survive
+        // with the same swap-with-last semantics the cache applies.
+        let assigned: std::collections::HashSet<usize> = cache
+            .state()
+            .unwrap()
+            .pairs
+            .iter()
+            .map(|&(_, p, _)| p as usize)
+            .collect();
+        let removed = (0..customers.len())
+            .find(|i| !assigned.contains(i))
+            .expect("scarce instance has unmatched customers");
+        assert!(cache.apply_delta(CacheDelta::RemoveCustomer {
+            index: removed,
+            weight: 1
+        }));
+        customers.swap_remove(removed);
+        let (warm, stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache)).unwrap();
+        assert!(
+            stats.warm_started,
+            "removing an unmatched customer only drops arcs: the certificate must survive"
+        );
+        let (cold, _) = solve_complete_bipartite(&providers, &customers);
+        assert!((warm.cost - cold.cost).abs() < 1e-9 * cold.cost.max(1.0));
+        assert_eq!(warm.size(), cold.size());
+    }
+
+    #[test]
+    fn apply_delta_remove_matched_customer_of_saturated_provider_invalidates() {
+        // Scarce regime: every provider is saturated, so a matched departure
+        // frees an `s → q` arc whose reduced cost `τ(q) − τ(s)` is negative
+        // (τ(s) dominates). The entry must be dropped — the remaining flow
+        // is not min-cost for its value — and the cold re-solve stays exact.
+        let (providers, mut customers) = random_instance(13, 4, 30, 2);
+        let cache = SspaCache::new();
+        let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+        let removed = cache.state().unwrap().pairs[0].1 as usize;
+        let survived = cache.apply_delta(CacheDelta::RemoveCustomer {
+            index: removed,
+            weight: 1,
+        });
+        customers.swap_remove(removed);
+        let (warm, stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache)).unwrap();
+        let (cold, _) = solve_complete_bipartite(&providers, &customers);
+        assert!((warm.cost - cold.cost).abs() < 1e-9 * cold.cost.max(1.0));
+        if survived {
+            // Tolerated only if the serving provider's potential really
+            // covered τ(s); either way the resume must have stayed exact.
+            assert_eq!(warm.size(), cold.size());
+        } else {
+            assert!(!stats.warm_started, "dropped entry cannot resume warm");
+        }
+    }
+
+    #[test]
+    fn apply_delta_add_far_customer_keeps_warm_resume() {
+        // Scarce regime: Σcap = 3 < |P| = 8, every provider saturated. A new
+        // customer far beyond the marginal cannot improve the flow, so the
+        // cached state stays certified and the resume needs zero searches.
+        let (providers, mut customers) = random_instance(12, 3, 8, 1);
+        let cache = SspaCache::new();
+        let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+        let far = Point::new(50_000.0, 50_000.0);
+        assert!(cache.apply_delta(CacheDelta::AddCustomer {
+            pos: far,
+            weight: 1,
+            providers: &providers,
+        }));
+        customers.push(FlowCustomer {
+            pos: far,
+            weight: 1,
+        });
+        let (warm, stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache)).unwrap();
+        assert!(stats.warm_started);
+        assert_eq!(stats.iterations, 0, "γ unchanged: nothing left to augment");
+        let (cold, _) = solve_complete_bipartite(&providers, &customers);
+        assert!((warm.cost - cold.cost).abs() < 1e-9 * cold.cost.max(1.0));
+    }
+
+    #[test]
+    fn apply_delta_add_undercutting_customer_invalidates() {
+        // A customer arriving on top of a provider beats whatever marginal
+        // the cached flow pays: the entry must be dropped, and the next
+        // solve (cold) must pick the new customer up.
+        let providers = [q(0.0, 0.0, 1)];
+        let mut customers = vec![p(30.0, 0.0), p(40.0, 0.0)];
+        let cache = SspaCache::new();
+        let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+        assert!(!cache.apply_delta(CacheDelta::AddCustomer {
+            pos: Point::new(0.1, 0.0),
+            weight: 1,
+            providers: &providers,
+        }));
+        assert!(cache.state().is_none(), "stale entry must be dropped");
+        customers.push(p(0.1, 0.0));
+        let (asg, stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache)).unwrap();
+        assert!(!stats.warm_started);
+        assert!((asg.cost - 0.1).abs() < 1e-9, "the arrival wins the slot");
+    }
+
+    #[test]
+    fn apply_delta_capacity_changes() {
+        // Surplus regime: provider 0 has slack, so a mild cut that still
+        // covers its load stays certified; an increase stays certified; a
+        // cut below the load forces an eviction and drops the entry.
+        let providers = [q(0.0, 0.0, 5), q(100.0, 0.0, 5)];
+        let customers = unit_customers(&[
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(99.0, 0.0),
+        ]);
+        let cache = SspaCache::new();
+        let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+        // Provider 0 carries 2 units. 5 → 3 keeps the load: certified.
+        assert!(cache.apply_delta(CacheDelta::SetProviderCapacity {
+            index: 0,
+            old_cap: 5,
+            new_cap: 3,
+        }));
+        let shrunk = [q(0.0, 0.0, 3), providers[1]];
+        let (warm, stats) =
+            solve_complete_bipartite_warm_ctx(&shrunk, &customers, None, Some(&cache)).unwrap();
+        assert!(stats.warm_started);
+        let (cold, _) = solve_complete_bipartite(&shrunk, &customers);
+        assert!((warm.cost - cold.cost).abs() < 1e-9);
+        // 3 → 6 only re-exposes source capacity: certified.
+        assert!(cache.apply_delta(CacheDelta::SetProviderCapacity {
+            index: 0,
+            old_cap: 3,
+            new_cap: 6,
+        }));
+        let grown = [q(0.0, 0.0, 6), providers[1]];
+        let (_, stats) =
+            solve_complete_bipartite_warm_ctx(&grown, &customers, None, Some(&cache)).unwrap();
+        assert!(stats.warm_started);
+        // 6 → 1 is below the load of 2: eviction needed, entry dropped.
+        assert!(!cache.apply_delta(CacheDelta::SetProviderCapacity {
+            index: 0,
+            old_cap: 6,
+            new_cap: 1,
+        }));
+        assert!(cache.state().is_none());
+    }
+
+    #[test]
+    fn apply_delta_provider_move_always_invalidates() {
+        let (providers, customers) = random_instance(13, 4, 20, 2);
+        let cache = SspaCache::new();
+        assert!(
+            !cache.apply_delta(CacheDelta::MoveProvider { index: 0 }),
+            "empty cache has nothing to keep"
+        );
+        let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+        assert!(cache.state().is_some());
+        assert!(!cache.apply_delta(CacheDelta::MoveProvider { index: 0 }));
+        assert!(cache.state().is_none());
+    }
+
+    #[test]
+    fn prime_restores_a_snapshot_for_resume() {
+        let (providers, customers) = random_instance(14, 5, 30, 3);
+        let cache = SspaCache::new();
+        let (cold, _) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache)).unwrap();
+        let snapshot = cache.state().expect("completed solve published");
+        // A fresh cache primed with the snapshot resumes without searching.
+        let fresh = SspaCache::new();
+        fresh.prime(&providers, &customers, snapshot);
+        let (warm, stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&fresh)).unwrap();
+        assert!(stats.warm_started);
+        assert_eq!(stats.iterations, 0);
+        assert!((warm.cost - cold.cost).abs() < 1e-9 * cold.cost.max(1.0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        /// Soundness of delta-maintained warm starts: after an arbitrary
+        /// sequence of removals / arrivals / capacity changes / moves
+        /// mirrored into the cache, solving the mutated instance through
+        /// the cache yields exactly the cold optimum — certified entries
+        /// resume, uncertifiable ones were dropped, and either way the
+        /// answer is the same.
+        #[test]
+        fn prop_apply_delta_never_corrupts(
+            seed in 0u64..10_000,
+            nq in 1usize..5,
+            np in 2usize..20,
+            ops in proptest::collection::vec((0u8..4, 0u16..1000), 1..8),
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let (mut providers, mut customers) = random_instance(seed, nq, np, 4);
+            let cache = SspaCache::new();
+            let _ = solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xde17a);
+            for (op, pick) in ops {
+                match op {
+                    0 if customers.len() > 1 => {
+                        let j = pick as usize % customers.len();
+                        cache.apply_delta(CacheDelta::RemoveCustomer { index: j, weight: customers[j].weight });
+                        customers.swap_remove(j);
+                    }
+                    1 => {
+                        let pos = Point::new(
+                            rng.random_range(0.0..1000.0),
+                            rng.random_range(0.0..1000.0),
+                        );
+                        cache.apply_delta(CacheDelta::AddCustomer { pos, weight: 1, providers: &providers });
+                        customers.push(FlowCustomer { pos, weight: 1 });
+                    }
+                    2 => {
+                        let i = pick as usize % providers.len();
+                        let old_cap = providers[i].cap;
+                        let new_cap = rng.random_range(0..6u32);
+                        cache.apply_delta(CacheDelta::SetProviderCapacity { index: i, old_cap, new_cap });
+                        providers[i].cap = new_cap;
+                    }
+                    _ => {
+                        let i = pick as usize % providers.len();
+                        cache.apply_delta(CacheDelta::MoveProvider { index: i });
+                        providers[i].pos = Point::new(
+                            rng.random_range(0.0..1000.0),
+                            rng.random_range(0.0..1000.0),
+                        );
+                    }
+                }
+            }
+            let (warm, _) =
+                solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+                    .unwrap();
+            let (cold, _) = solve_complete_bipartite(&providers, &customers);
+            let tol = 1e-9 * cold.cost.max(1.0);
+            proptest::prop_assert!(
+                (warm.cost - cold.cost).abs() <= tol,
+                "delta-warmed {} vs cold {}", warm.cost, cold.cost
             );
             proptest::prop_assert_eq!(warm.size(), cold.size());
         }

@@ -5,7 +5,7 @@
 //! adversarial trees that STR packing would never produce.
 
 use cca_geo::{Point, Rect};
-use cca_storage::PageId;
+use cca_storage::{PageId, QueryContext};
 
 use crate::entry::{InnerEntry, ItemId, LeafEntry};
 use crate::node::Node;
@@ -17,14 +17,31 @@ const MIN_FILL: f64 = 0.4;
 impl RTree {
     /// Inserts one point, splitting nodes (and growing the root) as needed.
     pub fn insert(&mut self, point: Point, id: ItemId) {
+        self.insert_ctx(point, id, None);
+    }
+
+    /// [`RTree::insert`] with the operation's page traffic charged to `ctx`
+    /// for per-query I/O attribution under dynamic workloads.
+    ///
+    /// Maintenance is atomic: the insert always runs to completion. An
+    /// exhausted I/O budget or expired deadline is recorded on the context
+    /// — and will trip the caller's next `ctx.check()` poll — but never
+    /// tears the tree mid-update.
+    pub fn insert_ctx(&mut self, point: Point, id: ItemId, ctx: Option<&QueryContext>) {
         assert!(point.is_finite(), "non-finite point inserted");
-        if let Some((left, right)) = self.insert_rec(self.root(), point, id) {
+        self.insert_no_count(point, id, ctx);
+        self.bump_size();
+    }
+
+    /// Insert without touching `size` — the delete path re-homes condensed
+    /// orphans through this (they never left the tree, logically).
+    pub(crate) fn insert_no_count(&mut self, point: Point, id: ItemId, ctx: Option<&QueryContext>) {
+        if let Some((left, right)) = self.insert_rec(self.root(), point, id, ctx) {
             // Root split: grow the tree by one level.
-            let new_root = self.alloc_node(&Node::Inner(vec![left, right]));
+            let new_root = self.alloc_node_ctx(ctx, &Node::Inner(vec![left, right]));
             let h = self.height() + 1;
             self.set_root(new_root, h);
         }
-        self.bump_size();
     }
 
     /// Recursive insert; returns `Some((left, right))` when `page` split.
@@ -33,13 +50,14 @@ impl RTree {
         page: PageId,
         point: Point,
         id: ItemId,
+        ctx: Option<&QueryContext>,
     ) -> Option<(InnerEntry, InnerEntry)> {
-        let mut n = self.read_node(page);
+        let mut n = self.read_node_ctx(page, ctx);
         match &mut n {
             Node::Leaf(entries) => {
                 entries.push(LeafEntry::new(point, id));
                 if entries.len() <= self.leaf_capacity() {
-                    self.write_node(page, &n);
+                    self.write_node_ctx(page, ctx, &n);
                     return None;
                 }
                 let (a, b) = quadratic_split(
@@ -49,8 +67,8 @@ impl RTree {
                 );
                 let mbr_a = a.iter().map(|e| e.point).collect();
                 let mbr_b = b.iter().map(|e| e.point).collect();
-                self.write_node(page, &Node::Leaf(a));
-                let right_page = self.alloc_node(&Node::Leaf(b));
+                self.write_node_ctx(page, ctx, &Node::Leaf(a));
+                let right_page = self.alloc_node_ctx(ctx, &Node::Leaf(b));
                 Some((
                     InnerEntry::new(mbr_a, page),
                     InnerEntry::new(mbr_b, right_page),
@@ -58,19 +76,19 @@ impl RTree {
             }
             Node::Inner(entries) => {
                 let chosen = choose_subtree(entries, point);
-                let split = self.insert_rec(entries[chosen].child, point, id);
+                let split = self.insert_rec(entries[chosen].child, point, id, ctx);
                 match split {
                     None => {
                         // Child absorbed the point: refresh its MBR.
                         entries[chosen].mbr.expand_point(&point);
-                        self.write_node(page, &n);
+                        self.write_node_ctx(page, ctx, &n);
                         None
                     }
                     Some((left, right)) => {
                         entries[chosen] = left;
                         entries.push(right);
                         if entries.len() <= self.inner_capacity() {
-                            self.write_node(page, &n);
+                            self.write_node_ctx(page, ctx, &n);
                             return None;
                         }
                         let (a, b) = quadratic_split(
@@ -80,8 +98,8 @@ impl RTree {
                         );
                         let mbr_a = a.iter().fold(Rect::empty(), |acc, e| acc.union(&e.mbr));
                         let mbr_b = b.iter().fold(Rect::empty(), |acc, e| acc.union(&e.mbr));
-                        self.write_node(page, &Node::Inner(a));
-                        let right_page = self.alloc_node(&Node::Inner(b));
+                        self.write_node_ctx(page, ctx, &Node::Inner(a));
+                        let right_page = self.alloc_node_ctx(ctx, &Node::Inner(b));
                         Some((
                             InnerEntry::new(mbr_a, page),
                             InnerEntry::new(mbr_b, right_page),
@@ -93,7 +111,7 @@ impl RTree {
     }
 }
 
-fn min_fill(cap: usize) -> usize {
+pub(crate) fn min_fill(cap: usize) -> usize {
     ((cap as f64 * MIN_FILL) as usize).max(1)
 }
 

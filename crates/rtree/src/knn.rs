@@ -295,13 +295,10 @@ impl RTree {
         let mut cursor = self.inc_nn_ctx(query, ctx);
         let mut hits = Vec::new();
         for (p, id, d) in cursor.by_ref() {
-            if d > max_dist {
+            if d > max_dist || hits.len() >= k {
                 break;
             }
             hits.push((p, id, d));
-            if hits.len() == k {
-                break;
-            }
         }
         match cursor.abort_reason() {
             Some(reason) => Err(Aborted { reason }),
@@ -417,6 +414,63 @@ mod tests {
         assert_eq!(capped.len(), 3.min(want.len()));
         for (c, w) in capped.iter().zip(&within) {
             assert_eq!(c.1, w.1);
+        }
+    }
+
+    #[test]
+    fn knn_within_abort_unwinds_typed() {
+        let items = random_items(20000, 27);
+        let tree = RTree::bulk_load(PageStore::with_config(1024, 8192), &items);
+        tree.finish_build(1.0); // cold, tiny buffer: the search must fault
+
+        let ctx = cca_storage::QueryContext::new().with_io_budget(2);
+        let err = tree
+            .knn_within_ctx(Point::new(500.0, 500.0), usize::MAX, 400.0, Some(&ctx))
+            .expect_err("a 2-fault budget cannot cover a 400-radius scan");
+        assert_eq!(err.reason, cca_storage::AbortReason::IoBudgetExceeded);
+        assert_eq!(
+            ctx.abort_reason(),
+            Some(cca_storage::AbortReason::IoBudgetExceeded)
+        );
+
+        // Cancellation surfaces through the same typed path.
+        let ctx = cca_storage::QueryContext::new();
+        ctx.cancel();
+        let err = tree
+            .knn_within_ctx(Point::new(500.0, 500.0), 5, 400.0, Some(&ctx))
+            .expect_err("cancelled context must abort the search");
+        assert_eq!(err.reason, cca_storage::AbortReason::Cancelled);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_knn_within_matches_brute_force(
+            seed in 0u64..1000,
+            n in 1usize..400,
+            k in 0usize..30,
+            radius in 0.0f64..600.0,
+            qx in 0.0f64..1000.0,
+            qy in 0.0f64..1000.0,
+        ) {
+            let items = random_items(n, seed);
+            let tree = RTree::bulk_load(PageStore::with_config(1024, 4096), &items);
+            let q = Point::new(qx, qy);
+            let got = tree.knn_within_ctx(q, k, radius, None).unwrap();
+
+            let want: Vec<(ItemId, f64)> = brute_knn(&items, q, n)
+                .into_iter()
+                .filter(|&(_, d)| d <= radius)
+                .take(k)
+                .collect();
+
+            prop_assert_eq!(got.len(), want.len());
+            // Every result honours the radius and the list is sorted.
+            prop_assert!(got.iter().all(|&(_, _, d)| d <= radius));
+            prop_assert!(got.windows(2).all(|w| w[0].2 <= w[1].2));
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.2 - w.1).abs() < 1e-12, "got {:?}, want {:?}", g, w);
+            }
         }
     }
 

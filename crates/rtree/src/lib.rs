@@ -3,8 +3,9 @@
 //! This crate implements the spatial access method the paper assumes for the
 //! disk-resident customer set `P` (§2.3, §3):
 //!
-//! * STR bulk loading ([`RTree::bulk_load`]) and dynamic insertion with
-//!   Guttman quadratic splits ([`RTree::insert`]),
+//! * STR bulk loading ([`RTree::bulk_load`]) and dynamic maintenance with
+//!   Guttman quadratic splits and condense-tree deletion ([`RTree::insert`],
+//!   [`RTree::delete`]; `_ctx` variants charge a `QueryContext`),
 //! * range and annular-range search ([`RTree::range_search`],
 //!   [`RTree::annular_range_search`]) driving RIA,
 //! * best-first kNN and *incremental* NN cursors ([`RTree::knn`],
@@ -18,6 +19,7 @@
 
 pub mod ann;
 pub mod bulk;
+pub mod delete;
 pub mod entry;
 pub mod insert;
 pub mod knn;

@@ -118,9 +118,23 @@ impl RTree {
         self.store.write_page(id, &bytes);
     }
 
-    pub(crate) fn alloc_node(&self, n: &Node) -> PageId {
+    /// [`RTree::read_node`] with the page access charged to `ctx`.
+    ///
+    /// Charging never aborts the access itself — maintenance ops stay
+    /// atomic; an exhausted budget only surfaces at the next `ctx.check()`.
+    pub(crate) fn read_node_ctx(&self, id: PageId, ctx: Option<&QueryContext>) -> Node {
+        self.store.with_page_ctx(id, ctx, node::decode)
+    }
+
+    /// [`RTree::write_node`] with eviction write-backs charged to `ctx`.
+    pub(crate) fn write_node_ctx(&self, id: PageId, ctx: Option<&QueryContext>, n: &Node) {
+        let bytes = node::encode(n, self.store.page_size());
+        self.store.write_page_ctx(id, ctx, &bytes);
+    }
+
+    pub(crate) fn alloc_node_ctx(&self, ctx: Option<&QueryContext>, n: &Node) -> PageId {
         let id = self.store.alloc_page();
-        self.write_node(id, n);
+        self.write_node_ctx(id, ctx, n);
         id
     }
 
@@ -135,6 +149,11 @@ impl RTree {
 
     pub(crate) fn bump_size(&mut self) {
         self.size += 1;
+    }
+
+    pub(crate) fn dec_size(&mut self) {
+        debug_assert!(self.size > 0, "delete on an empty tree slipped through");
+        self.size -= 1;
     }
 
     /// Streams all points of the tree in depth-first order (test helper and

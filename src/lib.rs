@@ -51,6 +51,13 @@
 //! partial results, and selectable by name end-to-end with no protocol
 //! changes.
 //!
+//! Since PR 9 a **dynamic world** is served by [`ContinuousAssignment`]:
+//! a feasible matching maintained under a stream of [`WorldEvent`]s
+//! (arrivals, departures, capacity changes, provider moves) with
+//! bounded-neighbourhood incremental repair, warm-started full re-solves
+//! and unwind-on-abort semantics. Event streams for testing and
+//! benchmarking come from `cca_datagen::ArrivalProcess`.
+//!
 //! Sub-crates (re-exported below): [`geo`] geometry, [`storage`] the paged
 //! disk + LRU buffer, [`rtree`] the spatial index, [`flow`] the min-cost-flow
 //! substrate, [`core`] the CCA algorithms and solver pipeline, [`serve`] the
@@ -68,6 +75,9 @@ pub use cca_storage as storage;
 mod batch;
 
 pub use batch::{BatchReport, BatchRunner, QueryResult};
+pub use cca_core::dynamic::{
+    ContinuousAssignment, ContinuousConfig, DynamicStats, EventReport, RepairKind, WorldEvent,
+};
 pub use cca_core::solver::{Outcome, Problem, Solver, SolverConfig, SolverRegistry, UnknownSolver};
 pub use cca_serve::{
     OwnedTicket, Rejected, ServeConfig, ServingInstance, TenantQuota, TenantStats,
