@@ -87,6 +87,61 @@ fn main() {
         );
     }
 
+    // Flow-core probe: profiled cold + warm SSPA on a mid-size instance,
+    // with the solve-phase time breakdown and frontier-queue counters.
+    if want("flow") {
+        use cca::flow::{
+            solve_complete_bipartite_profiled, solve_complete_bipartite_warm_ctx, FlowCustomer,
+            FlowProvider, SspaCache,
+        };
+        use cca::geo::Point;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2008);
+        let providers: Vec<FlowProvider> = (0..24)
+            .map(|_| FlowProvider {
+                pos: Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)),
+                cap: 40,
+            })
+            .collect();
+        let customers: Vec<FlowCustomer> = (0..800)
+            .map(|_| FlowCustomer {
+                pos: Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)),
+                weight: 1,
+            })
+            .collect();
+        let t0 = Instant::now();
+        let (asg, s) = solve_complete_bipartite_profiled(&providers, &customers);
+        let wall = t0.elapsed();
+        eprintln!(
+            "  flow cold  cost={:>10.1} wall={wall:?} settle={:.2?} augment={:.2?} heap={:.2?}",
+            asg.cost,
+            std::time::Duration::from_nanos(s.settle_ns),
+            std::time::Duration::from_nanos(s.augment_ns),
+            std::time::Duration::from_nanos(s.heap_ns),
+        );
+        eprintln!(
+            "  flow cold  settled={} pushes={} pops={} decrease_keys={} radix_fallbacks={}",
+            s.settled, s.heap_pushes, s.heap_pops, s.decrease_keys, s.radix_fallbacks,
+        );
+        let cache = SspaCache::new();
+        solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+            .expect("no context, no abort");
+        let t0 = Instant::now();
+        let (warm, s) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+                .expect("no context, no abort");
+        eprintln!(
+            "  flow warm  cost={:>10.1} wall={:?} settled={} warm_units={} settle={:.2?} augment={:.2?}",
+            warm.cost,
+            t0.elapsed(),
+            s.settled,
+            s.warm_units,
+            std::time::Duration::from_nanos(s.settle_ns),
+            std::time::Duration::from_nanos(s.augment_ns),
+        );
+    }
+
     // Dynamic-workload probe: events/sec through the continuous engine on a
     // mixed stream, with the repair-tier breakdown.
     if want("dyn") {

@@ -9,14 +9,30 @@
 //! whose corrected distance dropped below the sink's, so the settled set
 //! always equals `{v : α(v) < α(t)}` plus the sink — the precondition of the
 //! potential update.
+//!
+//! # Frontier queue
+//!
+//! The frontier (`Hd`) defaults to a monotone [`RadixQueue`] keyed on the
+//! order-preserving u64 bit pattern of the (non-negative) distances —
+//! Dijkstra keys never decrease, so bucket operations replace the binary
+//! heap's `log n` pointer-chasing sift. PUA's wave and `EPS`-tolerant
+//! settles can occasionally violate monotonicity; the first such push
+//! migrates the run to a binary heap with identical lazy-decrease-key
+//! semantics (counted in [`HeapCounters::radix_fallbacks`]), so correctness
+//! never depends on the monotone assumption. The two frontiers are pinned
+//! equivalent by proptest (`tests/frontier_equivalence.rs`). The wave heap
+//! (`Hf`) stays a binary heap: improved settled nodes arrive in arbitrary
+//! key order by construction.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use cca_geo::OrdF64;
 use cca_storage::{Aborted, QueryContext};
 
 use crate::graph::{ArcId, FlowGraph, NodeId, NO_ARC};
+use crate::radix::RadixQueue;
 
 /// Tolerance for floating-point noise in reduced costs. Distances are O(10³)
 /// (the normalised world), so 1e-7 absolute slack is ~12 decimal digits of
@@ -45,6 +61,108 @@ pub(crate) fn poll(ctx: Option<&QueryContext>, counter: &mut u32) -> Result<(), 
     Ok(())
 }
 
+/// Which frontier queue a [`DijkstraState`] starts each run with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FrontierKind {
+    /// Monotone radix/bucket queue on u64 key bits, with automatic
+    /// migration to the binary heap if monotonicity breaks mid-run.
+    #[default]
+    Radix,
+    /// Plain binary heap — the pre-radix engine, kept as the equivalence
+    /// oracle and the fallback target.
+    Binary,
+}
+
+/// Frontier-queue operation counts, cumulative over a [`DijkstraState`]'s
+/// lifetime (i.e. across all `init`/run cycles of one solve).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeapCounters {
+    /// Entries pushed into the frontier (lazy decrease-key re-pushes
+    /// included).
+    pub pushes: u64,
+    /// Entries popped from the frontier (stale entries included).
+    pub pops: u64,
+    /// Pushes that improved a node already queued in this run — the
+    /// operations a pairing/Fibonacci heap would call decrease-key.
+    pub decrease_keys: u64,
+    /// Runs migrated from the radix queue to the binary heap because a push
+    /// went below the last popped minimum (PUA wave or EPS-tolerant settle).
+    pub radix_fallbacks: u64,
+}
+
+/// The frontier queue: a radix queue until monotonicity breaks, a binary
+/// heap after (or throughout, for [`FrontierKind::Binary`]). Both sides use
+/// lazy decrease-key and order entries by `(key bits, node)`, which for the
+/// non-negative keys Dijkstra produces is exactly the ordering of the old
+/// `BinaryHeap<Reverse<(OrdF64, NodeId)>>` frontier.
+struct Frontier {
+    radix: RadixQueue,
+    binary: BinaryHeap<Reverse<(u64, NodeId)>>,
+    use_binary: bool,
+    prefer_binary: bool,
+}
+
+impl Frontier {
+    fn new(kind: FrontierKind) -> Self {
+        let prefer_binary = kind == FrontierKind::Binary;
+        Frontier {
+            radix: RadixQueue::new(),
+            binary: BinaryHeap::new(),
+            use_binary: prefer_binary,
+            prefer_binary,
+        }
+    }
+
+    /// Empties both sides (keeping allocations) and re-arms the preferred
+    /// queue for the next run.
+    fn clear(&mut self) {
+        self.radix.clear();
+        self.binary.clear();
+        self.use_binary = self.prefer_binary;
+    }
+
+    /// Pushes an entry; returns `true` when this push triggered the
+    /// radix → binary migration.
+    #[inline]
+    fn push(&mut self, key: u64, v: NodeId) -> bool {
+        if self.use_binary {
+            self.binary.push(Reverse((key, v)));
+            return false;
+        }
+        match self.radix.push(key, v) {
+            Ok(()) => false,
+            Err((k, n)) => {
+                // Monotonicity broke: move every queued entry to the binary
+                // heap and finish the run there. Nothing is lost or
+                // reordered — both sides pop exact minima.
+                let binary = &mut self.binary;
+                self.radix.drain_into(|k, n| binary.push(Reverse((k, n))));
+                binary.push(Reverse((k, n)));
+                self.use_binary = true;
+                true
+            }
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, NodeId)> {
+        if self.use_binary {
+            self.binary.pop().map(|Reverse(e)| e)
+        } else {
+            self.radix.pop()
+        }
+    }
+
+    #[inline]
+    fn peek_min(&mut self) -> Option<(u64, NodeId)> {
+        if self.use_binary {
+            self.binary.peek().map(|&Reverse(e)| e)
+        } else {
+            self.radix.peek_min()
+        }
+    }
+}
+
 /// Resumable single-source shortest-path state over a [`FlowGraph`].
 ///
 /// Node bookkeeping uses *epochs* so `init` is O(1) amortised rather than
@@ -55,29 +173,92 @@ pub struct DijkstraState {
     settled: Vec<bool>,
     epoch_of: Vec<u32>,
     epoch: u32,
-    /// Frontier heap (`Hd` in the paper); lazy decrease-key.
-    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    /// Frontier queue (`Hd` in the paper); lazy decrease-key.
+    frontier: Frontier,
     /// Re-relaxation wave over improved *settled* nodes (`Hf`, Algorithm 5).
     wave: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
     /// Settled nodes of the current run, in settle order. α values must be
     /// re-read at use time — PUA may improve them after settling.
     settled_list: Vec<NodeId>,
     source: NodeId,
+    counters: HeapCounters,
+    /// When set, frontier push/pop time is accumulated into `heap_ns`.
+    /// Off by default: per-op `Instant` reads cost real time in the hot
+    /// loop, so only profiled entry points turn this on.
+    profile: bool,
+    heap_ns: u64,
 }
 
 impl DijkstraState {
     pub fn new() -> Self {
+        Self::with_frontier(FrontierKind::default())
+    }
+
+    /// A state whose runs start on the given frontier queue.
+    pub fn with_frontier(kind: FrontierKind) -> Self {
         DijkstraState {
             alpha: Vec::new(),
             parent: Vec::new(),
             settled: Vec::new(),
             epoch_of: Vec::new(),
             epoch: 0,
-            heap: BinaryHeap::new(),
+            frontier: Frontier::new(kind),
             wave: BinaryHeap::new(),
             settled_list: Vec::new(),
             source: 0,
+            counters: HeapCounters::default(),
+            profile: false,
+            heap_ns: 0,
         }
+    }
+
+    /// Cumulative frontier operation counts (see [`HeapCounters`]).
+    #[inline]
+    pub fn heap_counters(&self) -> HeapCounters {
+        self.counters
+    }
+
+    /// Nanoseconds spent in frontier push/pop, when profiling is on.
+    #[inline]
+    pub fn heap_ns(&self) -> u64 {
+        self.heap_ns
+    }
+
+    /// Enables per-operation frontier timing (see [`DijkstraState::heap_ns`]).
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile = on;
+    }
+
+    /// Frontier push with counter/profiling bookkeeping.
+    #[inline]
+    fn fpush(&mut self, key: f64, v: NodeId) {
+        debug_assert!(key >= 0.0, "Dijkstra keys are non-negative");
+        self.counters.pushes += 1;
+        if self.profile {
+            let t = Instant::now();
+            let fell_back = self.frontier.push(key.to_bits(), v);
+            self.heap_ns += t.elapsed().as_nanos() as u64;
+            self.counters.radix_fallbacks += u64::from(fell_back);
+        } else if self.frontier.push(key.to_bits(), v) {
+            self.counters.radix_fallbacks += 1;
+        }
+    }
+
+    /// Frontier pop with counter/profiling bookkeeping.
+    #[inline]
+    fn fpop(&mut self) -> Option<(f64, NodeId)> {
+        let popped = if self.profile {
+            let t = Instant::now();
+            let popped = self.frontier.pop();
+            self.heap_ns += t.elapsed().as_nanos() as u64;
+            popped
+        } else {
+            self.frontier.pop()
+        };
+        popped.map(|(k, v)| {
+            self.counters.pops += 1;
+            (f64::from_bits(k), v)
+        })
     }
 
     fn ensure(&mut self, n: usize) {
@@ -113,13 +294,13 @@ impl DijkstraState {
             self.epoch_of.iter_mut().for_each(|e| *e = 0);
             self.epoch = 1;
         }
-        self.heap.clear();
+        self.frontier.clear();
         self.wave.clear();
         self.settled_list.clear();
         self.source = source;
         self.touch(source);
         self.alpha[source as usize] = 0.0;
-        self.heap.push(Reverse((OrdF64::new(0.0), source)));
+        self.fpush(0.0, source);
     }
 
     /// α(v), or `+∞` if unreached in this run.
@@ -173,13 +354,14 @@ impl DijkstraState {
         self.touch(v);
         let cand = self.alpha[u as usize] + rc.max(0.0);
         if cand + EPS < self.alpha[v as usize] {
+            let requeued = self.alpha[v as usize].is_finite();
             self.alpha[v as usize] = cand;
             self.parent[v as usize] = a;
-            let entry = Reverse((OrdF64::new(cand), v));
             if self.settled[v as usize] {
-                self.wave.push(entry);
+                self.wave.push(Reverse((OrdF64::new(cand), v)));
             } else {
-                self.heap.push(entry);
+                self.counters.decrease_keys += u64::from(requeued);
+                self.fpush(cand, v);
             }
             true
         } else {
@@ -187,13 +369,40 @@ impl DijkstraState {
         }
     }
 
-    /// Relaxes all residual out-arcs of settled node `u`.
+    /// Relaxes all residual out-arcs of settled node `u` by walking the
+    /// graph's intrusive arc chain — no allocation, no re-indexing.
+    ///
+    /// This is the settle loop's inner loop, so unlike the generic
+    /// [`Self::relax_arc`] it hoists the tail's α and τ out of the walk:
+    /// per arc it touches only the `next`/`res`/`cost`/`to` columns at `a`
+    /// plus the head's τ — never the paired arc `a ^ 1` the generic path
+    /// reads to recover the tail.
     fn relax_out(&mut self, g: &FlowGraph, u: NodeId) {
-        // `arcs_from` is cheap to re-index; copying the slice would allocate.
-        let n = g.arcs_from(u).len();
-        for i in 0..n {
-            let a = g.arcs_from(u)[i];
-            self.relax_arc(g, a);
+        debug_assert!(self.is_settled(u), "relaxing from unsettled node");
+        let alpha_u = self.alpha[u as usize];
+        let tau_u = g.tau(u);
+        let mut a = g.first_arc(u);
+        while a != NO_ARC {
+            let next = g.next_arc(a);
+            if g.residual_cap(a) != 0 {
+                let v = g.arc_to(a);
+                let rc = g.arc_cost(a) - tau_u + g.tau(v);
+                debug_assert!(rc > -EPS, "negative reduced cost {rc} on arc {a}");
+                self.touch(v);
+                let cand = alpha_u + rc.max(0.0);
+                if cand + EPS < self.alpha[v as usize] {
+                    let requeued = self.alpha[v as usize].is_finite();
+                    self.alpha[v as usize] = cand;
+                    self.parent[v as usize] = a;
+                    if self.settled[v as usize] {
+                        self.wave.push(Reverse((OrdF64::new(cand), v)));
+                    } else {
+                        self.counters.decrease_keys += u64::from(requeued);
+                        self.fpush(cand, v);
+                    }
+                }
+            }
+            a = next;
         }
     }
 
@@ -237,13 +446,13 @@ impl DijkstraState {
         loop {
             // Poll before de-heaping so an abort leaves the frontier intact.
             poll(ctx, &mut until_poll)?;
-            let Some(Reverse((key, u))) = self.heap.pop() else {
+            let Some((key, u)) = self.fpop() else {
                 return Ok(None);
             };
-            // Heap entries are always fresh (pushed after `touch`), so the
-            // per-epoch arrays are directly valid here.
+            // Frontier entries are always fresh (pushed after `touch`), so
+            // the per-epoch arrays are directly valid here.
             let ui = u as usize;
-            if self.settled[ui] || key.get() > self.alpha[ui] + EPS {
+            if self.settled[ui] || key > self.alpha[ui] + EPS {
                 continue; // settled already, or stale key
             }
             self.settled[ui] = true;
@@ -299,15 +508,17 @@ impl DijkstraState {
             // The bound can shrink while draining (a drained node may relax
             // an arc into t through the wave), so re-read it every step.
             let bound = self.alpha[t as usize];
-            let Some(&Reverse((key, u))) = self.heap.peek() else {
+            let Some((kbits, _)) = self.frontier.peek_min() else {
                 return Ok(());
             };
-            if key.get() + EPS >= bound {
+            if f64::from_bits(kbits) + EPS >= bound {
                 return Ok(());
             }
-            self.heap.pop();
+            let Some((key, u)) = self.fpop() else {
+                return Ok(());
+            };
             let ui = u as usize;
-            if self.settled[ui] || key.get() > self.alpha[ui] + EPS {
+            if self.settled[ui] || key > self.alpha[ui] + EPS {
                 continue;
             }
             self.settled[ui] = true;
@@ -404,6 +615,19 @@ mod tests {
         assert_eq!(d.run_until(&g, 3), Some(3.0));
         let path = d.extract_path(&g, 3);
         assert_eq!(path, vec![0, 2, 4]); // forward arcs of e0, e1, e2
+    }
+
+    #[test]
+    fn both_frontiers_agree_on_the_diamond() {
+        for kind in [FrontierKind::Radix, FrontierKind::Binary] {
+            let g = diamond();
+            let mut d = DijkstraState::with_frontier(kind);
+            d.init(&g, 0);
+            assert_eq!(d.run_until(&g, 3), Some(3.0), "{kind:?}");
+            assert_eq!(d.extract_path(&g, 3), vec![0, 2, 4], "{kind:?}");
+            let c = d.heap_counters();
+            assert!(c.pushes > 0 && c.pops > 0);
+        }
     }
 
     #[test]
@@ -541,6 +765,30 @@ mod tests {
         d.pua_insert_edge(&g, e);
         d.drain_below_sink(&g, 4);
         assert_eq!(d.alpha(4), 11.0);
+    }
+
+    #[test]
+    fn pua_below_minimum_push_falls_back_to_binary() {
+        // Settle a chain, then insert an edge whose relaxation pushes a
+        // frontier key *below* the last popped minimum: the radix queue must
+        // migrate to the binary heap instead of misfiling, and the counters
+        // must record exactly one fallback.
+        let mut g = FlowGraph::with_nodes(5);
+        g.add_edge(0, 1, 1, 2.0); // settled at 2
+        g.add_edge(1, 2, 1, 6.0); // settled at 8 (last popped minimum)
+        g.add_edge(0, 3, 1, 7.0); // frontier... settled at 7 before 8
+        g.add_edge(1, 4, 1, 20.0); // far frontier node, stays queued
+        let mut d = DijkstraState::new();
+        d.init(&g, 0);
+        assert_eq!(d.run_until(&g, 2), Some(8.0));
+        assert_eq!(d.heap_counters().radix_fallbacks, 0);
+        // New edge 0 → 4 with cost 3: candidate key 3 < last minimum 8.
+        let e = g.add_edge(0, 4, 1, 3.0);
+        d.pua_insert_edge(&g, e);
+        assert_eq!(d.heap_counters().radix_fallbacks, 1);
+        assert_eq!(d.alpha(4), 3.0);
+        // The migrated frontier still settles correctly.
+        assert_eq!(d.run_until(&g, 4), Some(3.0));
     }
 
     #[test]

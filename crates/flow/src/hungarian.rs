@@ -48,12 +48,17 @@ pub fn rectangular_assignment_ctx(
     let mut p = vec![0usize; m + 1];
     let mut way = vec![0usize; m + 1];
 
+    // Per-row scratch, hoisted out of the row loop and reset in place: the
+    // augmenting inner loop performs no heap allocation at all.
+    let mut minv = vec![inf; m + 1];
+    let mut used = vec![false; m + 1];
+
     let mut until_poll = 0u32;
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![inf; m + 1];
-        let mut used = vec![false; m + 1];
+        minv.iter_mut().for_each(|v| *v = inf);
+        used.iter_mut().for_each(|u| *u = false);
         loop {
             poll(ctx, &mut until_poll)?;
             used[j0] = true;

@@ -5,9 +5,14 @@
 //! algorithms are built on:
 //!
 //! * [`graph::FlowGraph`] — incremental residual graph with paired arcs and
-//!   node potentials (`τ`, §2.2),
+//!   node potentials (`τ`, §2.2). Arena-backed SoA layout: arcs live in flat
+//!   `to`/`cost`/`res`/`next` columns threaded into intrusive per-node
+//!   adjacency chains, so the relax loop streams a handful of columns and
+//!   `add_edge` never heap-allocates per node,
 //! * [`dijkstra::DijkstraState`] — Dijkstra over reduced costs, resumable
-//!   with the Path Update Algorithm (PUA, Algorithm 5 / §3.4.1),
+//!   with the Path Update Algorithm (PUA, Algorithm 5 / §3.4.1). The
+//!   frontier is a monotone [`radix::RadixQueue`] on u64 distance bits with
+//!   an automatic binary-heap fallback ([`dijkstra::FrontierKind`]),
 //! * [`sspa`] — the full-graph Successive Shortest Path baseline
 //!   (Algorithm 1) that Figure 8 benchmarks against,
 //! * [`hungarian`] — the classical dense assignment solver [8, 11], used as
@@ -26,13 +31,16 @@
 pub mod dijkstra;
 pub mod graph;
 pub mod hungarian;
+pub mod radix;
 pub mod sspa;
 pub mod validate;
 
-pub use dijkstra::{DijkstraState, EPS};
+pub use dijkstra::{DijkstraState, FrontierKind, HeapCounters, EPS};
 pub use graph::{ArcId, FlowGraph, NodeId, NO_ARC};
+pub use radix::RadixQueue;
 pub use sspa::{
     required_flow, solve_complete_bipartite, solve_complete_bipartite_ctx,
-    solve_complete_bipartite_warm_ctx, unit_customers, Assignment, CacheDelta, FlowAborted,
-    FlowCustomer, FlowProvider, SspaCache, SspaState, SspaStats,
+    solve_complete_bipartite_profiled, solve_complete_bipartite_warm_ctx, solve_with_frontier,
+    unit_customers, Assignment, CacheDelta, FlowAborted, FlowCustomer, FlowProvider, SspaCache,
+    SspaState, SspaStats,
 };

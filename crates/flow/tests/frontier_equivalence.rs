@@ -1,0 +1,220 @@
+//! Radix-vs-binary frontier equivalence.
+//!
+//! [`FrontierKind::Binary`] is the pre-radix engine: the same lazy
+//! decrease-key heap with the same `(key bits, node)` ordering the old
+//! `BinaryHeap<Reverse<(OrdF64, NodeId)>>` frontier used. These tests pin
+//! the radix queue (including its mid-run fallback migration) against it:
+//!
+//! * identical settle order up to equal-key ties, with bit-identical
+//!   distances, on random weighted graphs — including after PUA edge
+//!   inserts and `drain_below_sink` (the paths that trigger the fallback),
+//! * bit-identical final matching cost on random SSPA instances, cold,
+//!   warm-started, and across `apply_delta` cache mutations.
+
+use cca_flow::{
+    solve_complete_bipartite_warm_ctx, solve_with_frontier, CacheDelta, DijkstraState,
+    FlowCustomer, FlowGraph, FlowProvider, FrontierKind, NodeId, SspaCache,
+};
+use cca_geo::Point;
+use proptest::prelude::*;
+
+/// Random sparse digraph from an edge list over `n` nodes, plus one extra
+/// edge-less node (id `n`) to use as an unreachable drain target. Costs are
+/// non-negative, as Dijkstra requires.
+fn build_graph(n: usize, edges: &[(usize, usize, u32, f64)]) -> FlowGraph {
+    let mut g = FlowGraph::with_nodes(n + 1);
+    for &(u, v, cap, cost) in edges {
+        let (u, v) = (u % n, v % n);
+        if u != v {
+            g.add_edge(u as NodeId, v as NodeId, cap.max(1), cost);
+        }
+    }
+    g
+}
+
+/// Settles everything reachable from `source` and returns the settle trace
+/// as `(key bits, node)` pairs in settle order.
+fn settle_trace(g: &FlowGraph, source: NodeId, kind: FrontierKind) -> Vec<(u64, NodeId)> {
+    let mut d = DijkstraState::with_frontier(kind);
+    d.init(g, source);
+    // The edge-less sentinel node is never settled, so this drains the
+    // frontier completely.
+    let unreachable = (g.num_nodes() - 1) as NodeId;
+    assert_eq!(d.run_until(g, unreachable), None);
+    d.settled_nodes()
+        .iter()
+        .map(|&v| (d.alpha(v).to_bits(), v))
+        .collect()
+}
+
+/// Asserts two settle traces are equal up to reordering *within* runs of
+/// equal keys: the key sequences must match bit-for-bit, and each maximal
+/// equal-key run must settle the same set of nodes.
+fn assert_traces_equivalent(radix: &[(u64, NodeId)], binary: &[(u64, NodeId)]) {
+    let rk: Vec<u64> = radix.iter().map(|&(k, _)| k).collect();
+    let bk: Vec<u64> = binary.iter().map(|&(k, _)| k).collect();
+    assert_eq!(rk, bk, "settle key sequences diverged");
+    let mut i = 0;
+    while i < rk.len() {
+        let mut j = i + 1;
+        while j < rk.len() && rk[j] == rk[i] {
+            j += 1;
+        }
+        let mut rn: Vec<NodeId> = radix[i..j].iter().map(|&(_, n)| n).collect();
+        let mut bn: Vec<NodeId> = binary[i..j].iter().map(|&(_, n)| n).collect();
+        rn.sort_unstable();
+        bn.sort_unstable();
+        assert_eq!(
+            rn, bn,
+            "equal-key tie group {i}..{j} settled different nodes"
+        );
+        i = j;
+    }
+}
+
+fn providers_from(raw: &[(f64, f64, u32)]) -> Vec<FlowProvider> {
+    raw.iter()
+        .map(|&(x, y, cap)| FlowProvider {
+            pos: Point::new(x, y),
+            cap: cap.clamp(1, 6),
+        })
+        .collect()
+}
+
+fn customers_from(raw: &[(f64, f64, u32)]) -> Vec<FlowCustomer> {
+    raw.iter()
+        .map(|&(x, y, w)| FlowCustomer {
+            pos: Point::new(x, y),
+            weight: w.clamp(1, 3),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Cold Dijkstra: both frontiers settle the same nodes at bit-identical
+    /// distances, in the same order up to equal-key ties.
+    #[test]
+    fn prop_settle_order_matches_up_to_ties(
+        n in 2usize..24,
+        edges in proptest::collection::vec(
+            (0usize..24, 0usize..24, 1u32..4, 0.0..50.0f64), 1..80),
+    ) {
+        let g = build_graph(n, &edges);
+        let radix = settle_trace(&g, 0, FrontierKind::Radix);
+        let binary = settle_trace(&g, 0, FrontierKind::Binary);
+        assert_traces_equivalent(&radix, &binary);
+    }
+
+    /// PUA edge insertion + drain: the resumable path that can break radix
+    /// monotonicity (and trigger the binary fallback) still yields
+    /// bit-identical distances on every node both engines reached.
+    #[test]
+    fn prop_pua_resume_matches_binary(
+        n in 3usize..20,
+        edges in proptest::collection::vec(
+            (0usize..20, 0usize..20, 1u32..3, 0.0..50.0f64), 1..50),
+        inserts in proptest::collection::vec(
+            (0usize..20, 0usize..20, 0.0..50.0f64), 1..8),
+    ) {
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        for kind in [FrontierKind::Radix, FrontierKind::Binary] {
+            let mut g = build_graph(n, &edges);
+            let sink = (n - 1) as NodeId;
+            let mut d = DijkstraState::with_frontier(kind);
+            d.init(&g, 0);
+            let reached = d.run_until(&g, sink).is_some();
+            for &(u, v, cost) in &inserts {
+                let (u, v) = (u % n, v % n);
+                if u == v {
+                    continue;
+                }
+                let e = g.add_edge(u as NodeId, v as NodeId, 1, cost);
+                d.pua_insert_edge(&g, e);
+                if reached && d.is_settled(sink) {
+                    d.drain_below_sink(&g, sink);
+                }
+            }
+            runs.push((0..n as NodeId).map(|v| d.alpha(v).to_bits()).collect());
+        }
+        prop_assert_eq!(&runs[0], &runs[1], "PUA-corrected distances diverged");
+    }
+
+    /// Cold SSPA: the radix engine's final matching cost is bit-identical to
+    /// the binary (old) engine's on random weighted instances.
+    #[test]
+    fn prop_sspa_cost_bits_match_binary(
+        praw in proptest::collection::vec(
+            (0.0..1000.0f64, 0.0..1000.0f64, 1u32..6), 1..6),
+        craw in proptest::collection::vec(
+            (0.0..1000.0f64, 0.0..1000.0f64, 1u32..3), 1..12),
+    ) {
+        let providers = providers_from(&praw);
+        let customers = customers_from(&craw);
+        let (radix, rs) = solve_with_frontier(&providers, &customers, FrontierKind::Radix);
+        let (binary, bs) = solve_with_frontier(&providers, &customers, FrontierKind::Binary);
+        prop_assert_eq!(
+            radix.cost.to_bits(), binary.cost.to_bits(),
+            "cost diverged: {} vs {}", radix.cost, binary.cost);
+        prop_assert_eq!(radix.size(), binary.size());
+        prop_assert_eq!(rs.iterations, bs.iterations);
+        // The binary engine performs no radix operations at all.
+        prop_assert_eq!(bs.radix_fallbacks, 0);
+    }
+
+    /// Warm-started SSPA (the cache resume path) reproduces the binary
+    /// engine's cost bit-for-bit: populate the cache with a radix solve,
+    /// resume from it, and compare against a cold binary solve.
+    #[test]
+    fn prop_warm_start_cost_bits_match_binary(
+        praw in proptest::collection::vec(
+            (0.0..1000.0f64, 0.0..1000.0f64, 1u32..6), 1..5),
+        craw in proptest::collection::vec(
+            (0.0..1000.0f64, 0.0..1000.0f64, 1u32..3), 1..10),
+    ) {
+        let providers = providers_from(&praw);
+        let customers = customers_from(&craw);
+        let cache = SspaCache::new();
+        solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+            .expect("no context, no abort");
+        let (warm, stats) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+                .expect("no context, no abort");
+        prop_assert!(stats.warm_started, "second solve must resume");
+        let (binary, _) = solve_with_frontier(&providers, &customers, FrontierKind::Binary);
+        prop_assert_eq!(
+            warm.cost.to_bits(), binary.cost.to_bits(),
+            "warm cost diverged: {} vs {}", warm.cost, binary.cost);
+    }
+
+    /// `apply_delta` cache mutations: after removing a customer from the
+    /// cached state, the (possibly warm) re-solve of the modified instance
+    /// still matches the binary engine's cost bit-for-bit — whether the
+    /// delta preserved the warm state or invalidated it.
+    #[test]
+    fn prop_apply_delta_resolve_matches_binary(
+        praw in proptest::collection::vec(
+            (0.0..1000.0f64, 0.0..1000.0f64, 2u32..6), 1..5),
+        craw in proptest::collection::vec(
+            (0.0..1000.0f64, 0.0..1000.0f64, 1u32..3), 2..10),
+        remove_at in 0usize..10,
+    ) {
+        let providers = providers_from(&praw);
+        let mut customers = customers_from(&craw);
+        let cache = SspaCache::new();
+        solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+            .expect("no context, no abort");
+        let j = remove_at % customers.len();
+        let removed = customers.remove(j);
+        cache.apply_delta(CacheDelta::RemoveCustomer {
+            index: j,
+            weight: removed.weight,
+        });
+        let (warm, _) =
+            solve_complete_bipartite_warm_ctx(&providers, &customers, None, Some(&cache))
+                .expect("no context, no abort");
+        let (binary, _) = solve_with_frontier(&providers, &customers, FrontierKind::Binary);
+        prop_assert_eq!(
+            warm.cost.to_bits(), binary.cost.to_bits(),
+            "post-delta cost diverged: {} vs {}", warm.cost, binary.cost);
+    }
+}

@@ -10,7 +10,7 @@
 //! `max`/`mul` — no intrinsics, no feature gates.
 //!
 //! Every kernel computes *bit-identical* results to its scalar counterpart
-//! (same operations in the same order per element; pinned by proptests), so
+//! on the finite coordinates R-trees store (pinned by proptests), so
 //! switching a traversal to the batched path can never change which
 //! neighbour is found.
 
@@ -46,17 +46,46 @@ pub fn point_dist2_batch(qx: f64, qy: f64, xs: &[f64], ys: &[f64], out: &mut [f6
     }
 }
 
+/// Select-based max: `f64::max` is IEEE `maxNum`, whose NaN handling LLVM
+/// must preserve with a compare/blend *pair* per lane — that extra latency
+/// is what made the first batched rect kernel measure slower than scalar. A
+/// bare compare-select is a single vector `max` instruction on every SIMD
+/// target.
+///
+/// For the finite inputs the traversals feed in, the only value where the
+/// two differ is the sign of a zero (`sel_max(-0.0, 0.0)` may keep `-0.0`
+/// where `maxNum` prefers `+0.0`) — and both clamped distances are squared
+/// immediately, which erases the sign. So the kernel result stays
+/// bit-identical to [`crate::Rect::mindist2`] (pinned by proptest below).
+#[inline(always)]
+fn sel_max(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
 #[inline(always)]
 fn mindist2_scalar(qx: f64, qy: f64, lox: f64, loy: f64, hix: f64, hiy: f64) -> f64 {
-    // Exactly Rect::mindist2's operation order, so results match bit for bit.
-    let dx = (lox - qx).max(0.0).max(qx - hix);
-    let dy = (loy - qy).max(0.0).max(qy - hiy);
+    // Same clamp structure as Rect::mindist2, with select-based max.
+    let dx = sel_max(sel_max(lox - qx, 0.0), qx - hix);
+    let dy = sel_max(sel_max(loy - qy, 0.0), qy - hiy);
     dx * dx + dy * dy
 }
 
 /// Squared minimum distance from `(qx, qy)` to each axis-aligned rectangle
 /// `[lox[i], hix[i]] × [loy[i], hiy[i]]`, written to `out[i]`. Bit-identical
 /// to [`crate::Rect::mindist2`].
+///
+/// **Status: kept as a measured negative result.** Even with the
+/// select-based max (which removed the NaN compare/blend pair), this kernel
+/// benchmarks at or below the scalar loop on the `hot_path` bench's
+/// `dist_kernel` rows: it streams five arrays per element against the point
+/// kernel's two, so the vector ALU win drowns in load-port pressure. The NN
+/// traversal therefore scores inner-node MBRs through the scalar path and
+/// batches only leaf points; this function stays for the bench rows that
+/// document the comparison and for callers with warmer caches.
 ///
 /// # Panics
 /// If the slice lengths differ.

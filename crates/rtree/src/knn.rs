@@ -60,21 +60,23 @@ impl Ord for HeapItem {
 
 /// Reusable struct-of-arrays staging for one node's entries: the page
 /// decoder fills the coordinate columns, one batched kernel call computes
-/// every distance, and the heap pushes read the results back. Owned by the
-/// cursor so expanding N nodes allocates nothing after the first.
+/// every leaf distance, and the heap pushes read the results back. Owned by
+/// the cursor so expanding N nodes allocates nothing after the first.
+///
+/// Only leaf (point) scoring is batched. Inner-node MBRs are scored scalar
+/// in the decode closure: the rect kernel reads five streams per element
+/// against the point kernel's two, and measured at or below the scalar path
+/// on the `hot_path` bench (`dist_kernel` rows), so batching them buys
+/// nothing — see `cca_geo::kernel::rect_mindist2_batch` for the record.
 #[derive(Default)]
 struct SoaScratch {
     /// Leaf columns: point coordinates and item ids.
     xs: Vec<f64>,
     ys: Vec<f64>,
     ids: Vec<ItemId>,
-    /// Inner-node columns: MBR sides and child page ids.
-    lox: Vec<f64>,
-    loy: Vec<f64>,
-    hix: Vec<f64>,
-    hiy: Vec<f64>,
+    /// Inner-node child page ids.
     children: Vec<u32>,
-    /// Kernel output: squared distances.
+    /// Squared distances (kernel output for leaves, scalar for inner nodes).
     d2: Vec<f64>,
 }
 
@@ -83,11 +85,8 @@ impl SoaScratch {
         self.xs.clear();
         self.ys.clear();
         self.ids.clear();
-        self.lox.clear();
-        self.loy.clear();
-        self.hix.clear();
-        self.hiy.clear();
         self.children.clear();
+        self.d2.clear();
     }
 }
 
@@ -175,10 +174,12 @@ impl<'t> IncNn<'t> {
         let ctx = self.ctx.as_ref();
         let scratch = &mut self.scratch;
         scratch.clear();
-        // Decode the node into SoA columns, evaluate every entry's distance
+        // Leaves: decode into SoA columns, evaluate every entry's distance
         // in one batched (autovectorized) kernel call, then feed the heap.
-        // `dist2.sqrt()` produces bit-identical values to the scalar
-        // `q.dist(&p)` / `mbr.mindist(&q)` paths (pinned by cca-geo tests).
+        // Inner nodes: score each MBR scalar while decoding (see
+        // `SoaScratch`). Either way `dist2.sqrt()` produces bit-identical
+        // values to the scalar `q.dist(&p)` / `mbr.mindist(&q)` paths
+        // (pinned by cca-geo tests).
         if level_height == 1 {
             self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_leaf_entry(bytes, |p, id| {
@@ -198,23 +199,10 @@ impl<'t> IncNn<'t> {
         } else {
             self.tree.store().with_page_ctx(page, ctx, |bytes| {
                 node::for_each_inner_entry(bytes, |mbr, child| {
-                    scratch.lox.push(mbr.lo.x);
-                    scratch.loy.push(mbr.lo.y);
-                    scratch.hix.push(mbr.hi.x);
-                    scratch.hiy.push(mbr.hi.y);
+                    scratch.d2.push(mbr.mindist2(&q));
                     scratch.children.push(child.0);
                 });
             });
-            scratch.d2.resize(scratch.children.len(), 0.0);
-            kernel::rect_mindist2_batch(
-                q.x,
-                q.y,
-                &scratch.lox,
-                &scratch.loy,
-                &scratch.hix,
-                &scratch.hiy,
-                &mut scratch.d2,
-            );
             for i in 0..scratch.children.len() {
                 heap.push(Reverse(HeapItem {
                     dist: OrdF64::new(scratch.d2[i].sqrt()),
